@@ -1,0 +1,176 @@
+package cimmlc
+
+import (
+	"testing"
+
+	"cimmlc/internal/arch"
+	"cimmlc/internal/cg"
+	"cimmlc/internal/core"
+	"cimmlc/internal/cost"
+	"cimmlc/internal/experiments"
+	"cimmlc/internal/models"
+)
+
+// One benchmark per paper table/figure: each iteration regenerates the
+// experiment end-to-end (compilations + simulations) and reports the key
+// metric of that experiment via b.ReportMetric, so `go test -bench=.` both
+// regenerates the evaluation and tracks compiler performance.
+
+func benchExperiment(b *testing.B, id string, metric func(*experiments.Table) (float64, string)) {
+	b.Helper()
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	if metric != nil && last != nil {
+		v, unit := metric(last)
+		b.ReportMetric(v, unit)
+	}
+}
+
+func lastValue(t *experiments.Table) (float64, string) {
+	r := t.Rows[len(t.Rows)-1]
+	return r.Values[0], "x"
+}
+
+func BenchmarkTable1Generality(b *testing.B) {
+	benchExperiment(b, "table1", nil)
+}
+
+func BenchmarkFig16Codegen(b *testing.B) {
+	benchExperiment(b, "fig16", nil)
+}
+
+func BenchmarkFig20aJia(b *testing.B) {
+	benchExperiment(b, "fig20a", func(t *experiments.Table) (float64, string) {
+		return t.Rows[2].Values[0], "speedup_pd"
+	})
+}
+
+func BenchmarkFig20bPUMA(b *testing.B) {
+	benchExperiment(b, "fig20b", func(t *experiments.Table) (float64, string) {
+		return t.Rows[1].Values[0], "norm_peak_power"
+	})
+}
+
+func BenchmarkFig20cJain(b *testing.B) {
+	benchExperiment(b, "fig20c", func(t *experiments.Table) (float64, string) {
+		return t.Rows[3].Values[0], "speedup_full"
+	})
+}
+
+func BenchmarkFig20dPolySchedule(b *testing.B) {
+	benchExperiment(b, "fig20d", func(t *experiments.Table) (float64, string) {
+		return t.Rows[1].Values[0] / t.Rows[2].Values[0], "speedup_vs_poly"
+	})
+}
+
+func BenchmarkFig21aCG(b *testing.B) {
+	benchExperiment(b, "fig21a", func(t *experiments.Table) (float64, string) {
+		return t.Rows[0].Values[2], "resnet18_pd"
+	})
+}
+
+func BenchmarkFig21bMVM(b *testing.B) {
+	benchExperiment(b, "fig21b", func(t *experiments.Table) (float64, string) {
+		return t.Rows[2].Values[0], "resnet50_mvm"
+	})
+}
+
+func BenchmarkFig21cVVM(b *testing.B) {
+	benchExperiment(b, "fig21c", func(t *experiments.Table) (float64, string) {
+		return t.Rows[2].Values[0], "resnet50_vvm"
+	})
+}
+
+func BenchmarkFig21dPeakPower(b *testing.B) {
+	benchExperiment(b, "fig21d", func(t *experiments.Table) (float64, string) {
+		return t.Rows[0].Values[0], "resnet18_cg_power"
+	})
+}
+
+func BenchmarkFig22aCoreSweep(b *testing.B) {
+	benchExperiment(b, "fig22a", lastValue)
+}
+
+func BenchmarkFig22bXBSweep(b *testing.B) {
+	benchExperiment(b, "fig22b", lastValue)
+}
+
+func BenchmarkFig22cXBSize(b *testing.B) {
+	benchExperiment(b, "fig22c", lastValue)
+}
+
+func BenchmarkFig22dParallelRow(b *testing.B) {
+	benchExperiment(b, "fig22d", lastValue)
+}
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+// BenchmarkAblationAllocator compares the paper's DP duplication search with
+// the water-filling bottleneck balancer on ResNet18.
+func BenchmarkAblationAllocator(b *testing.B) {
+	g := models.ResNet18()
+	a := arch.ISAACBaseline()
+	for _, alloc := range []cg.Allocator{cg.AllocDP, cg.AllocWaterfill} {
+		b.Run(string(alloc), func(b *testing.B) {
+			var cycles float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Compile(g, a, core.Options{MaxLevel: arch.CM, Allocator: alloc})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = res.Report.Cycles
+			}
+			b.ReportMetric(cycles, "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationSegmentation compares the pop-last refinement against the
+// plain greedy prefix cut on VGG16/Jia (a heavily segmented case).
+func BenchmarkAblationSegmentation(b *testing.B) {
+	g := models.VGG16()
+	a := arch.JiaAccelerator()
+	m, err := cost.New(g, a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("greedy-prefix", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cg.Optimize(g, a, m, cg.Options{Pipeline: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pop-refined", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cg.Optimize(g, a, m, cg.Options{Pipeline: true, Duplicate: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCompileThroughput measures raw compiler throughput per model, the
+// end-to-end cost a user pays.
+func BenchmarkCompileThroughput(b *testing.B) {
+	a := arch.ISAACBaseline()
+	for _, name := range []string{"lenet5", "resnet18", "vgg7", "vit-tiny"} {
+		g, err := models.Build(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Compile(g, a, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

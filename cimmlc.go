@@ -1,0 +1,148 @@
+// Package cimmlc is a Go reproduction of CIM-MLC, the multi-level
+// compilation stack for computing-in-memory accelerators (Qu et al.,
+// ASPLOS 2024).
+//
+// The package compiles DNN computation graphs onto CIM accelerators
+// described by a three-tier hardware abstraction (chip / core / crossbar)
+// and a computing-mode abstraction (CM / XBM / WLM), producing an optimized
+// schedule (operator duplication, inter-operator pipelining, staggered
+// crossbar activation, wordline remapping, resource-adaptive segmentation),
+// a placement of weights onto physical crossbars, a performance report
+// (latency, energy, peak power) and an executable meta-operator flow.
+//
+// Quickstart:
+//
+//	g, _ := cimmlc.Model("resnet18")
+//	a, _ := cimmlc.Preset("isaac-baseline")
+//	res, _ := cimmlc.Compile(g, a, cimmlc.Options{})
+//	fmt.Println(res.Report.Cycles)
+//
+// See examples/ for complete programs and DESIGN.md for the architecture of
+// the implementation.
+package cimmlc
+
+import (
+	"cimmlc/internal/arch"
+	"cimmlc/internal/baseline"
+	"cimmlc/internal/codegen"
+	"cimmlc/internal/core"
+	"cimmlc/internal/experiments"
+	"cimmlc/internal/funcsim"
+	"cimmlc/internal/graph"
+	"cimmlc/internal/models"
+	"cimmlc/internal/mop"
+	"cimmlc/internal/perfsim"
+	"cimmlc/internal/sched"
+	"cimmlc/internal/tensor"
+)
+
+// Core compiler types.
+type (
+	// Arch is the hardware abstraction (Abs-arch + Abs-com) of §3.2.
+	Arch = arch.Arch
+	// Mode is the computing-mode abstraction: CM, XBM or WLM.
+	Mode = arch.Mode
+	// Graph is the DNN computation-graph IR.
+	Graph = graph.Graph
+	// Weights maps weighted node IDs to their tensors.
+	Weights = graph.Weights
+	// Tensor is the dense float32 tensor used for weights and activations.
+	Tensor = tensor.Tensor
+	// Options tunes compilation; the zero value enables the full stack.
+	Options = core.Options
+	// Result carries the schedule, placement, report and cost model.
+	Result = core.Result
+	// Schedule is the multi-level scheduling decision record.
+	Schedule = sched.Schedule
+	// Report is the performance simulation result.
+	Report = perfsim.Report
+	// Flow is a compiled meta-operator program.
+	Flow = mop.Flow
+	// FlowResult bundles a generated flow with its buffer layout.
+	FlowResult = codegen.Result
+	// CodegenOptions controls meta-operator emission.
+	CodegenOptions = codegen.Options
+	// ExperimentTable is a regenerated paper table/figure.
+	ExperimentTable = experiments.Table
+)
+
+// Computing modes.
+const (
+	CM  = arch.CM
+	XBM = arch.XBM
+	WLM = arch.WLM
+)
+
+// Preset returns a fresh copy of a named preset architecture
+// ("isaac-baseline", "puma", "jia-isscc21", "jain-jssc21", "toy-table2").
+func Preset(name string) (*Arch, error) { return arch.Preset(name) }
+
+// Presets lists the preset architecture names.
+func Presets() []string { return arch.PresetNames() }
+
+// DecodeArch parses an architecture description from JSON.
+func DecodeArch(data []byte) (*Arch, error) { return arch.Decode(data) }
+
+// EncodeArch serializes an architecture description to JSON.
+func EncodeArch(a *Arch) ([]byte, error) { return arch.Encode(a) }
+
+// DecodeGraph parses a computation graph from JSON.
+func DecodeGraph(data []byte) (*Graph, error) { return graph.Decode(data) }
+
+// EncodeGraph serializes a computation graph to JSON.
+func EncodeGraph(g *Graph) ([]byte, error) { return graph.Encode(g) }
+
+// Model builds a fresh copy of a named zoo model ("resnet18", "vgg16",
+// "vit-base", …).
+func Model(name string) (*Graph, error) { return models.Build(name) }
+
+// ModelNames lists the model zoo.
+func ModelNames() []string { return models.Names() }
+
+// Compile runs the multi-level scheduling workflow of Figure 3: CG-grained
+// optimization always, MVM-grained when the target exposes XBM or finer,
+// VVM-grained when it exposes WLM.
+func Compile(g *Graph, a *Arch, opt Options) (*Result, error) {
+	return core.Compile(g, a, opt)
+}
+
+// GenerateFlow lowers a compilation result into its meta-operator flow.
+func GenerateFlow(g *Graph, a *Arch, res *Result, opt CodegenOptions) (*FlowResult, error) {
+	return codegen.Generate(g, a, res.Schedule, res.Placement, res.Model, opt)
+}
+
+// ParseFlow reads a flow back from its printed concrete syntax.
+func ParseFlow(text string) (*Flow, error) { return mop.Parse(text) }
+
+// NewTensor returns a zero tensor with the given shape.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// RandomWeights returns deterministic pseudo-random weights for a graph.
+func RandomWeights(g *Graph, seed uint64) Weights { return graph.RandomWeights(g, seed) }
+
+// RunFlow executes a generated flow on the functional simulator and returns
+// the per-node output tensors.
+func RunFlow(g *Graph, a *Arch, fr *FlowResult, w Weights, inputs map[int]*Tensor) (map[int]*Tensor, error) {
+	return funcsim.RunFlow(g, a, fr, w, inputs)
+}
+
+// VerifyFlow checks a generated flow bit-exactly against the quantized
+// reference executor and within floatTol of the float reference.
+func VerifyFlow(g *Graph, a *Arch, fr *FlowResult, w Weights, inputs map[int]*Tensor, floatTol float64) error {
+	return funcsim.Verify(g, a, fr, w, inputs, floatTol)
+}
+
+// Simulate runs a schedule through the performance simulator.
+func Simulate(s *Schedule) (*Report, error) { return perfsim.Simulate(s) }
+
+// NoOptSchedule returns the unoptimized layer-serial schedule for a model.
+func NoOptSchedule(g *Graph, a *Arch) (*Schedule, error) { return baseline.NoOpt(g, a) }
+
+// PolySchedule returns the Poly-Schedule [22] comparison schedule.
+func PolySchedule(g *Graph, a *Arch) (*Schedule, error) { return baseline.PolySchedule(g, a) }
+
+// Experiment regenerates a paper table/figure by ID (e.g. "fig21a").
+func Experiment(id string) (*ExperimentTable, error) { return experiments.Run(id) }
+
+// ExperimentIDs lists the reproducible tables and figures.
+func ExperimentIDs() []string { return experiments.IDs() }

@@ -1,0 +1,79 @@
+// Command cimbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	cimbench                 # run every experiment
+//	cimbench fig20a fig21d   # run selected experiments
+//	cimbench -list           # list experiment IDs
+//	cimbench -flows fig16    # print the full Figure-16 flows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cimmlc/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flows := flag.String("flows", "", "print the generated flows of the named experiment (fig16)")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *flows != "" {
+		if *flows != "fig16" {
+			fmt.Fprintf(os.Stderr, "cimbench: only fig16 has printable flows\n")
+			os.Exit(1)
+		}
+		fl, err := experiments.Fig16Flows()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cimbench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, mode := range []string{"CM", "XBM", "WLM"} {
+			fmt.Printf("===== %s =====\n", mode)
+			fmt.Println(truncateFlow(fl[mode].Flow.Print(), 40))
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	failed := false
+	for _, id := range ids {
+		t, err := experiments.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cimbench: %s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(t.Format())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// truncateFlow keeps the first n lines of a printed flow (the §3.4 example
+// prints "… 256 similar code segments" rather than all of them).
+func truncateFlow(text string, n int) string {
+	lines := 0
+	for i := 0; i < len(text); i++ {
+		if text[i] == '\n' {
+			lines++
+			if lines == n {
+				return text[:i] + "\n  ... (truncated; flows are complete in memory)"
+			}
+		}
+	}
+	return text
+}

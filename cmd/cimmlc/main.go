@@ -1,0 +1,154 @@
+// Command cimmlc is the CLI compiler: it compiles a zoo model (or a graph
+// JSON file) onto a preset architecture (or an architecture JSON file) and
+// prints the schedule report and, optionally, the meta-operator flow.
+//
+// Usage:
+//
+//	cimmlc -model resnet18 -arch isaac-baseline
+//	cimmlc -model conv-relu -arch toy-table2 -flow -max-windows 2
+//	cimmlc -model-file net.json -arch-file accel.json -report
+//	cimmlc -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"cimmlc"
+	"cimmlc/internal/arch"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "", "zoo model name (see -list)")
+		modelFile = flag.String("model-file", "", "graph JSON file (alternative to -model)")
+		archName  = flag.String("arch", "", "preset architecture name (see -list)")
+		archFile  = flag.String("arch-file", "", "architecture JSON file (alternative to -arch)")
+		maxLevel  = flag.String("max-level", "", "cap optimization level (CM, XBM or WLM)")
+		noPipe    = flag.Bool("no-pipeline", false, "disable inter-operator pipelining")
+		noDup     = flag.Bool("no-duplication", false, "disable operator duplication")
+		noStagger = flag.Bool("no-stagger", false, "disable the staggered MVM pipeline")
+		noRemap   = flag.Bool("no-remap", false, "disable wordline remapping")
+		emitFlow  = flag.Bool("flow", false, "print the generated meta-operator flow")
+		maxWin    = flag.Int64("max-windows", 0, "cap emitted window blocks per operator (0 = all)")
+		list      = flag.Bool("list", false, "list models and architectures, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("models:")
+		for _, n := range cimmlc.ModelNames() {
+			fmt.Println("  " + n)
+		}
+		fmt.Println("architectures:")
+		for _, n := range cimmlc.Presets() {
+			fmt.Println("  " + n)
+		}
+		return
+	}
+
+	g, err := loadModel(*modelName, *modelFile)
+	if err != nil {
+		fatal(err)
+	}
+	a, err := loadArch(*archName, *archFile)
+	if err != nil {
+		fatal(err)
+	}
+	opt := cimmlc.Options{
+		DisablePipeline:    *noPipe,
+		DisableDuplication: *noDup,
+		DisableStagger:     *noStagger,
+		DisableRemap:       *noRemap,
+		MaxLevel:           arch.Mode(*maxLevel),
+	}
+	res, err := cimmlc.Compile(g, a, opt)
+	if err != nil {
+		fatal(err)
+	}
+	printReport(g, a, res)
+	if *emitFlow {
+		fr, err := cimmlc.GenerateFlow(g, a, res, cimmlc.CodegenOptions{MaxWindowsPerOp: *maxWin})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(fr.Flow.Print())
+		if fr.Truncated {
+			fmt.Println("# (window loops truncated by -max-windows; rerun with 0 for the executable flow)")
+		}
+	}
+}
+
+func loadModel(name, file string) (*cimmlc.Graph, error) {
+	switch {
+	case name != "" && file != "":
+		return nil, fmt.Errorf("cimmlc: use either -model or -model-file, not both")
+	case name != "":
+		return cimmlc.Model(name)
+	case file != "":
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return cimmlc.DecodeGraph(data)
+	default:
+		return nil, fmt.Errorf("cimmlc: -model or -model-file is required (try -list)")
+	}
+}
+
+func loadArch(name, file string) (*cimmlc.Arch, error) {
+	switch {
+	case name != "" && file != "":
+		return nil, fmt.Errorf("cimmlc: use either -arch or -arch-file, not both")
+	case name != "":
+		return cimmlc.Preset(name)
+	case file != "":
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return cimmlc.DecodeArch(data)
+	default:
+		return nil, fmt.Errorf("cimmlc: -arch or -arch-file is required (try -list)")
+	}
+}
+
+func printReport(g *cimmlc.Graph, a *cimmlc.Arch, res *cimmlc.Result) {
+	r := res.Report
+	s := res.Schedule
+	fmt.Printf("model:        %s (%d nodes, %d weights)\n", g.Name, len(g.Nodes), g.WeightCount())
+	fmt.Printf("architecture: %s\n", a)
+	fmt.Printf("levels:       %v  pipeline=%v stagger=%v\n", s.Levels, s.Pipeline, s.Stagger)
+	fmt.Printf("segments:     %d\n", len(s.Segments))
+	fmt.Printf("latency:      %.0f cycles (reload %.0f)\n", r.Cycles, r.ReloadCycles)
+	fmt.Printf("peak power:   %.2f units (%.0f active crossbars)\n", r.PeakPower.Total(), r.PeakActiveXBs)
+	fmt.Printf("energy:       %.3g units\n", r.Energy)
+	fmt.Printf("occupancy:    %d/%d cores, %d crossbars programmed\n", r.CoresUsed, a.Chip.CoreCount(), r.XBsUsed)
+
+	// Duplication summary: top entries by copies.
+	type d struct {
+		id, dup, remap int
+	}
+	var ds []d
+	for _, id := range g.CIMNodeIDs() {
+		ds = append(ds, d{id, s.DupOf(id), s.RemapOf(id)})
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].dup > ds[j].dup })
+	n := len(ds)
+	if n > 8 {
+		n = 8
+	}
+	fmt.Println("hottest operators (dup × remap):")
+	for _, e := range ds[:n] {
+		node := g.MustNode(e.id)
+		fmt.Printf("  %-12s dup=%-4d remap=%d\n", node.Name, e.dup, e.remap)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// resnet_pipeline walks the multi-level scheduling of a ResNet-18 on the
+// ISAAC-like Table-3 baseline (the Figure 21 study): it compares the
+// unoptimized schedule, each CG-grained technique, and the MVM/VVM
+// refinements, reporting latency, peak power and resource occupancy at each
+// step — the "what does each level buy me" view a deployment engineer wants.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cimmlc"
+)
+
+func main() {
+	g, err := cimmlc.Model("resnet18")
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := cimmlc.Preset("isaac-baseline")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model %s (%d weights) on %s\n\n", g.Name, g.WeightCount(), a)
+
+	noOpt, err := cimmlc.NoOptSchedule(g, a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := cimmlc.Simulate(noOpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s %12.0f cycles  %8.1f peak power\n", "w/o optimization", base.Cycles, base.PeakPower.Total())
+
+	steps := []struct {
+		label string
+		opt   cimmlc.Options
+	}{
+		{"CG pipeline only", cimmlc.Options{MaxLevel: cimmlc.CM, DisableDuplication: true}},
+		{"CG duplication only", cimmlc.Options{MaxLevel: cimmlc.CM, DisablePipeline: true}},
+		{"CG pipeline + duplication", cimmlc.Options{MaxLevel: cimmlc.CM}},
+		{"CG + MVM (Eq.1 + stagger)", cimmlc.Options{MaxLevel: cimmlc.XBM}},
+		{"CG + MVM + VVM (full)", cimmlc.Options{}},
+	}
+	for _, st := range steps {
+		res, err := cimmlc.Compile(g, a, st.opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := res.Report
+		fmt.Printf("%-28s %12.0f cycles  %8.1f peak power  %6.1f× speedup  %4d/%d cores\n",
+			st.label, r.Cycles, r.PeakPower.Total(), base.Cycles/r.Cycles,
+			r.CoresUsed, a.Chip.CoreCount())
+	}
+
+	// The Poly-Schedule comparison of Figure 20(d).
+	poly, err := cimmlc.PolySchedule(g, a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rp, err := cimmlc.Simulate(poly)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPoly-Schedule [22]           %12.0f cycles  (%.1f× slower than full CIM-MLC)\n",
+		rp.Cycles, rp.Cycles/mustCycles(g, a))
+}
+
+func mustCycles(g *cimmlc.Graph, a *cimmlc.Arch) float64 {
+	res, err := cimmlc.Compile(g, a, cimmlc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Report.Cycles
+}

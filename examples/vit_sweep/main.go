@@ -1,0 +1,65 @@
+// vit_sweep reproduces the flavor of the §4.4 sensitivity study: it sweeps
+// the crossbar geometry and the parallel-row budget of the Table-3 baseline
+// while compiling ViT-Base, showing how the architecture parameters exposed
+// by Abs-arch move the achievable speedup — the design-space-exploration use
+// the paper positions CIM-MLC for.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cimmlc"
+)
+
+func main() {
+	g, err := cimmlc.Model("vit-base")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sweeping %s (%d weights, %d nodes)\n\n", g.Name, g.WeightCount(), len(g.Nodes))
+
+	fmt.Println("crossbar shape sweep (constant 32k cells):")
+	for _, shape := range [][2]int{{64, 512}, {128, 256}, {256, 128}, {512, 64}} {
+		a := baselineArch()
+		a.XB.Rows, a.XB.Cols = shape[0], shape[1]
+		if a.XB.ParallelRow > a.XB.Rows {
+			a.XB.ParallelRow = a.XB.Rows
+		}
+		report(fmt.Sprintf("%3d×%-3d", shape[0], shape[1]), g, a)
+	}
+
+	fmt.Println("\nparallel-row sweep (128×256 crossbars):")
+	for _, pr := range []int{64, 32, 16, 8} {
+		a := baselineArch()
+		a.XB.ParallelRow = pr
+		report(fmt.Sprintf("%3d rows", pr), g, a)
+	}
+}
+
+func baselineArch() *cimmlc.Arch {
+	a, err := cimmlc.Preset("isaac-baseline")
+	if err != nil {
+		log.Fatal(err)
+	}
+	a.XB.Cols = 256
+	return a
+}
+
+func report(label string, g *cimmlc.Graph, a *cimmlc.Arch) {
+	no, err := cimmlc.NoOptSchedule(g, a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rno, err := cimmlc.Simulate(no)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := cimmlc.Compile(g, a, cimmlc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := res.Report
+	fmt.Printf("  %s: %10.0f cycles  %6.2f× speedup  %2d segments  peak %7.1f\n",
+		label, r.Cycles, rno.Cycles/r.Cycles, len(res.Schedule.Segments), r.PeakPower.Total())
+}

@@ -1,0 +1,59 @@
+package arch
+
+import "fmt"
+
+// Device identifies the memory-cell technology of a crossbar. The paper's
+// first diversity axis (§2.1): device type fixes the relative read/write
+// costs that drive scheduling — SRAM tolerates frequent weight updates,
+// ReRAM/Flash freeze weights because writes are expensive.
+type Device string
+
+const (
+	SRAM    Device = "SRAM"
+	ReRAM   Device = "ReRAM"
+	Flash   Device = "FLASH"
+	PCM     Device = "PCM"
+	STTMRAM Device = "STT-MRAM"
+)
+
+// Valid reports whether d is a known device.
+func (d Device) Valid() bool {
+	switch d {
+	case SRAM, ReRAM, Flash, PCM, STTMRAM:
+		return true
+	}
+	return false
+}
+
+// DeviceProfile carries the technology-dependent cost constants the
+// performance model needs. Latencies are in compute cycles per cell
+// operation, energies in arbitrary consistent units. The ratios — not the
+// absolute values — drive every scheduling decision, mirroring the paper's
+// observation that ReRAM writes are "considerably higher" than reads [3].
+type DeviceProfile struct {
+	ReadLatency  float64 // cycles to read (activate) one row group
+	WriteLatency float64 // cycles to program one row of cells
+	ReadEnergy   float64 // energy per activated cell per read
+	WriteEnergy  float64 // energy per programmed cell
+	// WritesAllowed reports whether the scheduler may reprogram weights at
+	// runtime (segmentation reload); false only forbids *mid-inference*
+	// rewrites, initial programming is always possible.
+	WritesAllowed bool
+}
+
+// Profile returns the cost profile for the device.
+func (d Device) Profile() DeviceProfile {
+	switch d {
+	case SRAM:
+		return DeviceProfile{ReadLatency: 1, WriteLatency: 1, ReadEnergy: 1, WriteEnergy: 1, WritesAllowed: true}
+	case ReRAM:
+		return DeviceProfile{ReadLatency: 1, WriteLatency: 100, ReadEnergy: 2, WriteEnergy: 50, WritesAllowed: true}
+	case Flash:
+		return DeviceProfile{ReadLatency: 2, WriteLatency: 1000, ReadEnergy: 2, WriteEnergy: 200, WritesAllowed: true}
+	case PCM:
+		return DeviceProfile{ReadLatency: 1.5, WriteLatency: 150, ReadEnergy: 2, WriteEnergy: 80, WritesAllowed: true}
+	case STTMRAM:
+		return DeviceProfile{ReadLatency: 1, WriteLatency: 10, ReadEnergy: 1.5, WriteEnergy: 10, WritesAllowed: true}
+	}
+	panic(fmt.Sprintf("arch: no profile for device %q", d))
+}

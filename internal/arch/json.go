@@ -1,0 +1,27 @@
+package arch
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Encode serializes a validated architecture description to indented JSON,
+// the on-disk config format cmd/cimmlc accepts.
+func Encode(a *Arch) ([]byte, error) {
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("arch: refusing to encode invalid description: %w", err)
+	}
+	return json.MarshalIndent(a, "", "  ")
+}
+
+// Decode parses and validates an architecture description from JSON.
+func Decode(data []byte) (*Arch, error) {
+	var a Arch
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("arch: decode: %w", err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}

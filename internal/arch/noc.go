@@ -1,0 +1,90 @@
+package arch
+
+import "fmt"
+
+// Coord addresses a unit (core or crossbar) on a 2-D grid.
+type Coord struct {
+	Row, Col int
+}
+
+// CoreCoord converts a linear core index to its grid coordinate.
+func (a *Arch) CoreCoord(core int) Coord {
+	return Coord{Row: core / a.Chip.CoreCols, Col: core % a.Chip.CoreCols}
+}
+
+// XBCoord converts a linear crossbar index (within a core) to its grid
+// coordinate.
+func (a *Arch) XBCoord(xb int) Coord {
+	return Coord{Row: xb / a.Core.XBCols, Col: xb % a.Core.XBCols}
+}
+
+// HopDistance returns the topology distance between two grid coordinates
+// under the given NoC type; the paper's core_noc_cost matrix is this
+// distance scaled by the per-hop cost constant.
+func HopDistance(noc NoCType, a, b Coord, gridRows, gridCols int) float64 {
+	if a == b {
+		return 0
+	}
+	switch noc {
+	case NoCMesh:
+		dr, dc := a.Row-b.Row, a.Col-b.Col
+		if dr < 0 {
+			dr = -dr
+		}
+		if dc < 0 {
+			dc = -dc
+		}
+		return float64(dr + dc)
+	case NoCHTree:
+		// In an H-tree, distance is twice the height to the lowest common
+		// subtree. Index linearly and count the shared prefix of the
+		// binary addresses.
+		ia := a.Row*gridCols + a.Col
+		ib := b.Row*gridCols + b.Col
+		h := 0.0
+		for ia != ib {
+			ia /= 2
+			ib /= 2
+			h++
+		}
+		return 2 * h
+	case NoCSharedBus, NoCDisjointBS:
+		// Uniform cost: one bus transaction regardless of position.
+		return 1
+	case NoCIdeal:
+		return 0
+	}
+	panic(fmt.Sprintf("arch: unknown NoC type %q", noc))
+}
+
+// CoreTransferCycles returns the cycles needed to move `bits` of data from
+// core src to core dst over the chip NoC (0 when src==dst or the NoC is
+// ideal). A 64-bit flit is the transfer unit.
+func (a *Arch) CoreTransferCycles(src, dst int, bits int64) float64 {
+	if src == dst || a.Chip.CoreNoC == NoCIdeal || a.Chip.CoreNoCCost == 0 {
+		return 0
+	}
+	hops := HopDistance(a.Chip.CoreNoC, a.CoreCoord(src), a.CoreCoord(dst), a.Chip.CoreRows, a.Chip.CoreCols)
+	flits := float64((bits + 63) / 64)
+	return hops * a.Chip.CoreNoCCost * flits
+}
+
+// XBTransferCycles returns the cycles to move `bits` between two crossbars
+// inside one core.
+func (a *Arch) XBTransferCycles(src, dst int, bits int64) float64 {
+	if src == dst || a.Core.XBNoC == NoCIdeal || a.Core.XBNoCCost == 0 {
+		return 0
+	}
+	hops := HopDistance(a.Core.XBNoC, a.XBCoord(src), a.XBCoord(dst), a.Core.XBRows, a.Core.XBCols)
+	flits := float64((bits + 63) / 64)
+	return hops * a.Core.XBNoCCost * flits
+}
+
+// BufferCycles returns the cycles to stream `bits` through a buffer port of
+// bandwidth bwBits bits/cycle; 0 for an ideal (zero) bandwidth parameter.
+func BufferCycles(bits int64, bwBits float64) float64 {
+	if bwBits <= 0 || bits <= 0 {
+		return 0
+	}
+	return float64(bits) / bwBits
+}

@@ -1,0 +1,136 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMeshHopDistance(t *testing.T) {
+	d := HopDistance(NoCMesh, Coord{0, 0}, Coord{2, 3}, 4, 4)
+	if d != 5 {
+		t.Fatalf("mesh distance = %v, want 5", d)
+	}
+	if HopDistance(NoCMesh, Coord{1, 1}, Coord{1, 1}, 4, 4) != 0 {
+		t.Fatal("self distance must be 0")
+	}
+}
+
+func TestHTreeHopDistance(t *testing.T) {
+	// Adjacent even/odd pair shares a parent: distance 2.
+	if d := HopDistance(NoCHTree, Coord{0, 0}, Coord{0, 1}, 1, 8); d != 2 {
+		t.Fatalf("htree(0,1) = %v, want 2", d)
+	}
+	// Indices 0 and 4 in an 8-wide tree meet at the root: 3 levels up.
+	if d := HopDistance(NoCHTree, Coord{0, 0}, Coord{0, 4}, 1, 8); d != 6 {
+		t.Fatalf("htree(0,4) = %v, want 6", d)
+	}
+}
+
+func TestBusAndIdealDistance(t *testing.T) {
+	if d := HopDistance(NoCSharedBus, Coord{0, 0}, Coord{3, 3}, 4, 4); d != 1 {
+		t.Fatalf("bus distance = %v, want 1", d)
+	}
+	if d := HopDistance(NoCDisjointBS, Coord{0, 0}, Coord{3, 3}, 4, 4); d != 1 {
+		t.Fatalf("disjoint buffer switch distance = %v, want 1", d)
+	}
+	if d := HopDistance(NoCIdeal, Coord{0, 0}, Coord{3, 3}, 4, 4); d != 0 {
+		t.Fatalf("ideal distance = %v, want 0", d)
+	}
+}
+
+func TestHopDistancePanicsOnUnknownNoC(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown NoC did not panic")
+		}
+	}()
+	HopDistance(NoCType("warp"), Coord{0, 0}, Coord{1, 1}, 2, 2)
+}
+
+func TestCoreCoordRoundTrip(t *testing.T) {
+	a := ISAACBaseline() // 24×32 grid
+	for _, core := range []int{0, 31, 32, 767} {
+		c := a.CoreCoord(core)
+		if c.Row*a.Chip.CoreCols+c.Col != core {
+			t.Fatalf("core %d maps to %+v which maps back wrong", core, c)
+		}
+	}
+}
+
+func TestCoreTransferCycles(t *testing.T) {
+	a := ISAACBaseline()
+	if got := a.CoreTransferCycles(0, 0, 1024); got != 0 {
+		t.Fatalf("self transfer = %v, want 0", got)
+	}
+	// Core 0 → core 1 is one mesh hop; 1024 bits = 16 flits at cost 1.
+	if got := a.CoreTransferCycles(0, 1, 1024); got != 16 {
+		t.Fatalf("1-hop transfer = %v, want 16", got)
+	}
+	// Ideal NoC costs nothing.
+	j := JainAccelerator()
+	if got := j.CoreTransferCycles(0, 3, 1<<20); got != 0 {
+		t.Fatalf("ideal NoC transfer = %v, want 0", got)
+	}
+}
+
+func TestXBTransferCycles(t *testing.T) {
+	a := ISAACBaseline()
+	// XB NoC is ideal in the baseline.
+	if got := a.XBTransferCycles(0, 3, 4096); got != 0 {
+		t.Fatalf("ideal xb transfer = %v", got)
+	}
+	b := a.Clone()
+	b.Core.XBNoC = NoCMesh
+	b.Core.XBNoCCost = 2
+	// XB 0→1 is 1 hop on the 4×4 grid, 64 bits = 1 flit, cost 2.
+	if got := b.XBTransferCycles(0, 1, 64); got != 2 {
+		t.Fatalf("xb transfer = %v, want 2", got)
+	}
+}
+
+func TestBufferCycles(t *testing.T) {
+	if got := BufferCycles(384, 384); got != 1 {
+		t.Fatalf("BufferCycles = %v, want 1", got)
+	}
+	if got := BufferCycles(1000, 0); got != 0 {
+		t.Fatal("ideal bandwidth must cost 0")
+	}
+	if got := BufferCycles(0, 384); got != 0 {
+		t.Fatal("zero bits must cost 0")
+	}
+}
+
+// Property: mesh distance is a metric — symmetric and satisfying the
+// triangle inequality.
+func TestMeshDistanceMetricProperty(t *testing.T) {
+	f := func(ar, ac, br, bc, cr, cc uint8) bool {
+		a := Coord{int(ar % 16), int(ac % 16)}
+		b := Coord{int(br % 16), int(bc % 16)}
+		c := Coord{int(cr % 16), int(cc % 16)}
+		dab := HopDistance(NoCMesh, a, b, 16, 16)
+		dba := HopDistance(NoCMesh, b, a, 16, 16)
+		dac := HopDistance(NoCMesh, a, c, 16, 16)
+		dcb := HopDistance(NoCMesh, c, b, 16, 16)
+		return dab == dba && dab <= dac+dcb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: H-tree distance is symmetric and zero iff equal.
+func TestHTreeDistanceProperty(t *testing.T) {
+	f := func(ai, bi uint8) bool {
+		a := Coord{0, int(ai % 64)}
+		b := Coord{0, int(bi % 64)}
+		dab := HopDistance(NoCHTree, a, b, 1, 64)
+		dba := HopDistance(NoCHTree, b, a, 1, 64)
+		if dab != dba {
+			return false
+		}
+		return (dab == 0) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package arch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ISAACBaseline returns the paper's CIM architecture baseline (Table 3),
+// referred from ISAAC [39]: 768 cores × 16 crossbars of 128×128 ReRAM cells
+// (2-bit), parallel row 8, 1-bit DAC / 8-bit ADC, 1024-ops/cycle ALUs,
+// L0 384 b/cycle, L1 8192 b/cycle. Parameters the table leaves out are
+// ideal. The machine exposes WLM so all three optimization levels apply.
+func ISAACBaseline() *Arch {
+	return &Arch{
+		Name: "isaac-baseline",
+		Mode: WLM,
+		Chip: ChipTier{
+			CoreRows: 24, CoreCols: 32, // 768 cores
+			CoreNoC: NoCMesh, CoreNoCCost: 1,
+			L0BW:   384,
+			ALUOps: 1024,
+		},
+		Core: CoreTier{
+			XBRows: 4, XBCols: 4, // 16 crossbars
+			XBNoC:  NoCIdeal,
+			L1BW:   8192,
+			ALUOps: 1024,
+		},
+		XB: XBTier{
+			Rows: 128, Cols: 128,
+			ParallelRow: 8,
+			DACBits:     1, ADCBits: 8,
+			Device: ReRAM, CellBits: 2,
+		},
+		WeightBits: 8, ActBits: 8,
+	}
+}
+
+// JiaAccelerator returns the hardware abstraction of Jia et al.'s
+// programmable SRAM CIM inference chip (ISSCC'21), Figure 17: 16 CIMUs
+// (cores) of one 1152×256 SRAM macro each with all 1152 rows activated in
+// parallel, exposing a core-granularity (CM) interface over a disjoint
+// buffer switch network. Unlisted parameters are ideal.
+func JiaAccelerator() *Arch {
+	return &Arch{
+		Name: "jia-isscc21",
+		Mode: CM,
+		Chip: ChipTier{
+			CoreRows: 4, CoreCols: 4, // 16 cores
+			CoreNoC: NoCDisjointBS, CoreNoCCost: 1,
+		},
+		Core: CoreTier{
+			XBRows: 1, XBCols: 1,
+			XBNoC: NoCIdeal,
+		},
+		XB: XBTier{
+			Rows: 1152, Cols: 256,
+			ParallelRow: 1152,
+			DACBits:     1, ADCBits: 8,
+			Device: SRAM, CellBits: 1,
+		},
+		WeightBits: 8, ActBits: 8,
+	}
+}
+
+// PUMAAccelerator returns the hardware abstraction of PUMA [4], Figure 18:
+// 138 cores on a mesh, 96 kB global buffer at 384 b/cycle, 2 crossbars per
+// core with 1 kB local buffers, 128×128 ReRAM crossbars (2-bit cells) with
+// all 128 rows parallel, exposing a crossbar-granularity (XBM) interface.
+//
+// Figure 18 prints "ADC: 1-bit, DAC: 8-bit"; PUMA's published design drives
+// crossbars with 1-bit DACs and samples with 8-bit ADCs, so the figure's two
+// labels are swapped and we encode the physical configuration.
+func PUMAAccelerator() *Arch {
+	return &Arch{
+		Name: "puma",
+		Mode: XBM,
+		Chip: ChipTier{
+			CoreRows: 6, CoreCols: 23, // 138 cores
+			CoreNoC: NoCMesh, CoreNoCCost: 1,
+			L0SizeKB: 96, L0BW: 384,
+		},
+		Core: CoreTier{
+			XBRows: 1, XBCols: 2,
+			XBNoC:    NoCIdeal,
+			L1SizeKB: 1,
+		},
+		XB: XBTier{
+			Rows: 128, Cols: 128,
+			ParallelRow: 128,
+			DACBits:     1, ADCBits: 8,
+			Device: ReRAM, CellBits: 2,
+		},
+		WeightBits: 8, ActBits: 8,
+	}
+}
+
+// JainAccelerator returns the hardware abstraction of Jain et al.'s ±CIM
+// SRAM macro (JSSC'21), Figure 19: 4 cores × 2 crossbars of 256×64 SRAM
+// cells (1-bit), at most 32 rows active simultaneously (to limit computing
+// variation), 1-bit DAC / 6-bit ADC, exposing wordline-granularity (WLM).
+func JainAccelerator() *Arch {
+	return &Arch{
+		Name: "jain-jssc21",
+		Mode: WLM,
+		Chip: ChipTier{
+			CoreRows: 2, CoreCols: 2,
+			CoreNoC: NoCIdeal,
+		},
+		Core: CoreTier{
+			XBRows: 1, XBCols: 2,
+			XBNoC: NoCIdeal,
+		},
+		XB: XBTier{
+			Rows: 256, Cols: 64,
+			ParallelRow: 32,
+			DACBits:     1, ADCBits: 6,
+			Device: SRAM, CellBits: 1,
+		},
+		WeightBits: 8, ActBits: 8,
+	}
+}
+
+// ToyExample returns the didactic machine of Table 2 (§3.4): 2×1 cores, 2×1
+// crossbars each, 32×128 cells of 2-bit precision, 16 parallel rows, ample
+// buffers. The §3.4 walkthrough compiles Conv-ReLU onto it in all three
+// modes; Mode here defaults to WLM (the finest) and callers demote it.
+func ToyExample() *Arch {
+	return &Arch{
+		Name: "toy-table2",
+		Mode: WLM,
+		Chip: ChipTier{
+			CoreRows: 2, CoreCols: 1,
+			CoreNoC: NoCSharedBus, CoreNoCCost: 0,
+		},
+		Core: CoreTier{
+			XBRows: 2, XBCols: 1,
+			XBNoC: NoCIdeal,
+		},
+		XB: XBTier{
+			Rows: 32, Cols: 128,
+			ParallelRow: 16,
+			DACBits:     1, ADCBits: 8,
+			Device: SRAM, CellBits: 2,
+		},
+		WeightBits: 8, ActBits: 8,
+	}
+}
+
+// presetFns maps preset names to constructors.
+var presetFns = map[string]func() *Arch{
+	"isaac-baseline": ISAACBaseline,
+	"jia-isscc21":    JiaAccelerator,
+	"puma":           PUMAAccelerator,
+	"jain-jssc21":    JainAccelerator,
+	"toy-table2":     ToyExample,
+}
+
+// Preset returns a fresh copy of the named preset architecture.
+func Preset(name string) (*Arch, error) {
+	fn, ok := presetFns[name]
+	if !ok {
+		return nil, fmt.Errorf("arch: unknown preset %q (have %v)", name, PresetNames())
+	}
+	return fn(), nil
+}
+
+// PresetNames lists the available preset names in sorted order.
+func PresetNames() []string {
+	names := make([]string, 0, len(presetFns))
+	for n := range presetFns {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,328 @@
+// Package cg implements the computation-graph-grained (CG) optimization of
+// CIM-MLC (§3.3.2): operator duplication searched by dynamic programming
+// under the chip's core_number constraint, inter-operator pipeline
+// balancing, and the resource-adaptive compute graph segmentation of
+// Figure 9(b) for models that exceed chip capacity.
+package cg
+
+import (
+	"fmt"
+	"math"
+
+	"cimmlc/internal/arch"
+	"cimmlc/internal/cost"
+	"cimmlc/internal/graph"
+	"cimmlc/internal/sched"
+)
+
+// Allocator selects the duplication-search strategy; the paper's dynamic
+// program is the default, the water-filling bottleneck balancer is kept as
+// an ablation point (see DESIGN.md).
+type Allocator string
+
+const (
+	// AllocDP minimizes the summed operator runtime by dynamic programming
+	// over the core budget — the paper's search.
+	AllocDP Allocator = "dp"
+	// AllocWaterfill minimizes the pipeline bottleneck stage by binary
+	// search + greedy top-up.
+	AllocWaterfill Allocator = "waterfill"
+)
+
+// Options selects which CG techniques run.
+type Options struct {
+	Pipeline  bool      // enable inter-operator pipelining
+	Duplicate bool      // enable the duplication search
+	Allocator Allocator // empty means AllocDP
+}
+
+// opInfo caches the per-operator quantities the optimizer needs.
+type opInfo struct {
+	id        int
+	cim       bool
+	coresCopy int     // cores per additional copy
+	maxDup    int     // duplication ceiling (capacity, window count, rounds)
+	windows   int64   // work units at dup 1
+	perWindow float64 // stage cycles per unit
+	rounds    int
+	reload    float64
+}
+
+func (oi opInfo) run(d int) float64 {
+	w := ceilDiv64(oi.windows, int64(d))
+	return float64(oi.rounds)*float64(w)*oi.perWindow + float64(oi.rounds)*oi.reload
+}
+
+// Optimize performs CG-grained optimization and returns the schedule
+// (Levels = ["CG"]). The cost model m must be built over (g, a).
+func Optimize(g *graph.Graph, a *arch.Arch, m *cost.Model, opt Options) (*sched.Schedule, error) {
+	if opt.Allocator == "" {
+		opt.Allocator = AllocDP
+	}
+	infos, order, err := collectInfos(g, a, m)
+	if err != nil {
+		return nil, err
+	}
+	segments, err := segment(g, a, m, infos, order, opt)
+	if err != nil {
+		return nil, err
+	}
+	s := &sched.Schedule{
+		Graph:    g,
+		Arch:     a,
+		Dup:      map[int]int{},
+		Remap:    map[int]int{},
+		Pipeline: opt.Pipeline,
+		Segments: segments,
+		Levels:   []string{"CG"},
+	}
+	if opt.Duplicate {
+		for _, seg := range segments {
+			dup, err := allocate(segCIMInfos(infos, seg), a.Chip.CoreCount(), opt)
+			if err != nil {
+				return nil, err
+			}
+			for id, d := range dup {
+				s.Dup[id] = d
+			}
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("cg: produced invalid schedule: %w", err)
+	}
+	return s, nil
+}
+
+// collectInfos builds opInfo for every non-input node in topological order.
+func collectInfos(g *graph.Graph, a *arch.Arch, m *cost.Model) (map[int]opInfo, []int, error) {
+	infos := map[int]opInfo{}
+	var order []int
+	for _, n := range g.Nodes {
+		if n.Op == graph.OpInput {
+			continue
+		}
+		oc, err := m.Op(n.ID, 1, 1)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cg: node %d: %w", n.ID, err)
+		}
+		oi := opInfo{
+			id:        n.ID,
+			cim:       n.Op.CIMSupported(),
+			windows:   oc.Windows,
+			perWindow: oc.PerWindow,
+			rounds:    oc.Rounds,
+			reload:    oc.Reload,
+		}
+		if oi.cim {
+			f := m.FPs[n.ID]
+			oi.coresCopy = f.CoresPerCopy
+			oi.maxDup = int(minI64(int64(a.Chip.CoreCount()*a.Core.XBCount()/maxInt(f.XBsPerCopy, 1)), f.MVMs))
+			if oi.maxDup < 1 {
+				oi.maxDup = 1
+			}
+			if oi.rounds > 1 {
+				oi.maxDup = 1
+				oi.coresCopy = a.Chip.CoreCount()
+			}
+		}
+		infos[n.ID] = oi
+		order = append(order, n.ID)
+	}
+	return infos, order, nil
+}
+
+func segCIMInfos(infos map[int]opInfo, seg []int) []opInfo {
+	var out []opInfo
+	for _, id := range seg {
+		if oi := infos[id]; oi.cim {
+			out = append(out, oi)
+		}
+	}
+	return out
+}
+
+// allocate distributes the core budget over the segment's CIM operators and
+// returns the duplication per node.
+func allocate(ops []opInfo, budget int, opt Options) (map[int]int, error) {
+	if len(ops) == 0 {
+		return map[int]int{}, nil
+	}
+	baseline := 0
+	for _, oi := range ops {
+		baseline += oi.coresCopy
+	}
+	if baseline > budget {
+		return nil, fmt.Errorf("cg: segment needs %d cores at dup 1 but budget is %d", baseline, budget)
+	}
+	switch opt.Allocator {
+	case AllocWaterfill:
+		return waterfill(ops, budget), nil
+	default:
+		return allocateDP(ops, budget), nil
+	}
+}
+
+// allocateDP is the paper's dynamic-programming search: dp[r] is the minimal
+// summed runtime using exactly ≤ r cores over the operators processed so
+// far; each operator chooses how many copies to instantiate.
+func allocateDP(ops []opInfo, budget int) map[int]int {
+	const inf = math.MaxFloat64 / 4
+	dp := make([]float64, budget+1)
+	choice := make([][]int, len(ops))
+	for i := range dp {
+		dp[i] = 0
+	}
+	// dp is built operator by operator; cur[r] = min total runtime of the
+	// first i operators using at most r cores.
+	prev := make([]float64, budget+1)
+	for r := range prev {
+		prev[r] = 0
+	}
+	for i, oi := range ops {
+		cur := make([]float64, budget+1)
+		ch := make([]int, budget+1)
+		for r := 0; r <= budget; r++ {
+			cur[r] = inf
+			ch[r] = 0
+			maxD := oi.maxDup
+			if oi.coresCopy > 0 {
+				if lim := r / oi.coresCopy; lim < maxD {
+					maxD = lim
+				}
+			}
+			for d := 1; d <= maxD; d++ {
+				c := d * oi.coresCopy
+				if c > r {
+					break
+				}
+				v := prev[r-c] + oi.run(d)
+				if v < cur[r] {
+					cur[r] = v
+					ch[r] = d
+				}
+				// Early exit: once the operator is down to one window per
+				// copy, more copies cannot help.
+				if int64(d) >= oi.windows {
+					break
+				}
+			}
+		}
+		choice[i] = ch
+		prev = cur
+	}
+	// Walk back the choices from the full budget.
+	dup := map[int]int{}
+	r := budget
+	for i := len(ops) - 1; i >= 0; i-- {
+		d := choice[i][r]
+		if d < 1 {
+			d = 1
+		}
+		dup[ops[i].id] = d
+		r -= d * ops[i].coresCopy
+		if r < 0 {
+			r = 0
+		}
+	}
+	_ = dp
+	return dup
+}
+
+// waterfill minimizes the pipeline bottleneck stage: binary search the
+// target stage time T, then spend leftover cores on whichever operator
+// currently bounds the pipeline.
+func waterfill(ops []opInfo, budget int) map[int]int {
+	// Feasibility check for a target T: the duplication each op needs.
+	need := func(t float64) (int, map[int]int) {
+		total := 0
+		dup := map[int]int{}
+		for _, oi := range ops {
+			d := 1
+			if t > 0 && oi.perWindow > 0 {
+				d = int(math.Ceil(float64(oi.windows) * oi.perWindow * float64(oi.rounds) / t))
+			}
+			if d < 1 {
+				d = 1
+			}
+			if d > oi.maxDup {
+				d = oi.maxDup
+			}
+			dup[oi.id] = d
+			total += d * oi.coresCopy
+		}
+		return total, dup
+	}
+	lo, hi := 1.0, 0.0
+	for _, oi := range ops {
+		if r := oi.run(1); r > hi {
+			hi = r
+		}
+	}
+	best := map[int]int{}
+	for _, oi := range ops {
+		best[oi.id] = 1
+	}
+	for iter := 0; iter < 64 && hi-lo > 1e-6*hi; iter++ {
+		mid := (lo + hi) / 2
+		total, dup := need(mid)
+		if total <= budget {
+			hi = mid
+			best = dup
+		} else {
+			lo = mid
+		}
+	}
+	// Greedy top-up with the leftovers.
+	used := 0
+	for _, oi := range ops {
+		used += best[oi.id] * oi.coresCopy
+	}
+	for {
+		// Find the bottleneck that can still be improved.
+		bi, bt := -1, -1.0
+		for _, oi := range ops {
+			d := best[oi.id]
+			if d >= oi.maxDup {
+				continue
+			}
+			if used+oi.coresCopy > budget {
+				continue
+			}
+			if t := oi.run(d); t > bt {
+				bt = t
+				bi = oi.id
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		for _, oi := range ops {
+			if oi.id == bi {
+				best[bi]++
+				used += oi.coresCopy
+			}
+		}
+	}
+	return best
+}
+
+func ceilDiv64(a, b int64) int64 {
+	if b <= 0 {
+		panic("cg: ceilDiv64 by non-positive divisor")
+	}
+	return (a + b - 1) / b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,311 @@
+package cg
+
+import (
+	"testing"
+
+	"cimmlc/internal/arch"
+	"cimmlc/internal/cost"
+	"cimmlc/internal/graph"
+	"cimmlc/internal/models"
+	"cimmlc/internal/perfsim"
+	"cimmlc/internal/sched"
+)
+
+func optimize(t *testing.T, g *graph.Graph, a *arch.Arch, opt Options) *sched.Schedule {
+	t.Helper()
+	m, err := cost.New(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Optimize(g, a, m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// §3.4: on the Table-2 toy machine (2 cores, each holding the conv once) the
+// CG optimizer duplicates the conv twice.
+func TestToyConvDuplicatedTwice(t *testing.T) {
+	g := models.ConvReLU()
+	a := arch.ToyExample()
+	s := optimize(t, g, a, Options{Duplicate: true})
+	if got := s.DupOf(g.CIMNodeIDs()[0]); got != 2 {
+		t.Fatalf("toy conv duplication = %d, want 2 (§3.4)", got)
+	}
+	if len(s.Segments) != 1 {
+		t.Fatalf("segments = %d, want 1", len(s.Segments))
+	}
+}
+
+func TestDuplicationRespectsBudget(t *testing.T) {
+	for _, name := range []string{"lenet5", "resnet18", "vgg7"} {
+		g, _ := models.Build(name)
+		a := arch.ISAACBaseline()
+		m, _ := cost.New(g, a)
+		s := optimize(t, g, a, Options{Duplicate: true})
+		for _, seg := range s.Segments {
+			cores := 0
+			for _, id := range seg {
+				if f, ok := m.FPs[id]; ok && f.Rounds(a) == 1 {
+					cores += s.DupOf(id) * f.CoresPerCopy
+				}
+			}
+			if cores > a.Chip.CoreCount() {
+				t.Errorf("%s: segment uses %d cores > %d", name, cores, a.Chip.CoreCount())
+			}
+		}
+	}
+}
+
+func TestDuplicationSpeedsUpResNet(t *testing.T) {
+	g := models.ResNet18()
+	a := arch.ISAACBaseline()
+	plain := optimize(t, g, a, Options{})
+	dup := optimize(t, g, a, Options{Duplicate: true})
+	rp, err := perfsim.Simulate(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := perfsim.Simulate(dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := rp.Cycles / rd.Cycles
+	// Figure 21(a): CG-Duplication alone reaches 25.4× on ResNet18; demand
+	// at least a large multiple here.
+	if speedup < 5 {
+		t.Fatalf("CG duplication speedup on ResNet18 = %.2f, want ≥5", speedup)
+	}
+}
+
+func TestDuplicationFavorsManyWindowLayers(t *testing.T) {
+	g := models.ResNet18()
+	a := arch.ISAACBaseline()
+	m, _ := cost.New(g, a)
+	s := optimize(t, g, a, Options{Duplicate: true})
+	ids := g.CIMNodeIDs()
+	stem := ids[0]          // 112×112 windows
+	head := ids[len(ids)-1] // final Dense, 1 window
+	if s.DupOf(stem) <= s.DupOf(head) {
+		t.Fatalf("stem dup %d should exceed head dup %d", s.DupOf(stem), s.DupOf(head))
+	}
+	if s.DupOf(head) != 1 {
+		t.Fatalf("single-window dense duplicated %d times", s.DupOf(head))
+	}
+	_ = m
+}
+
+func TestPipelineOptionPropagates(t *testing.T) {
+	g := models.ConvReLU()
+	a := arch.ToyExample()
+	s := optimize(t, g, a, Options{Pipeline: true})
+	if !s.Pipeline {
+		t.Fatal("pipeline flag lost")
+	}
+	s2 := optimize(t, g, a, Options{})
+	if s2.Pipeline {
+		t.Fatal("pipeline enabled unrequested")
+	}
+}
+
+func TestWaterfillAllocatorBalances(t *testing.T) {
+	g := models.ResNet18()
+	a := arch.ISAACBaseline()
+	s := optimize(t, g, a, Options{Duplicate: true, Pipeline: true, Allocator: AllocWaterfill})
+	m, _ := cost.New(g, a)
+	// Waterfill's bottleneck stage should be no worse than the DP answer's
+	// (they optimize different objectives but both must be sane).
+	sDP := optimize(t, g, a, Options{Duplicate: true, Pipeline: true, Allocator: AllocDP})
+	bottleneck := func(s *sched.Schedule) float64 {
+		worst := 0.0
+		for _, id := range g.CIMNodeIDs() {
+			oc, err := m.Op(id, s.DupOf(id), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r := oc.Run(); r > worst {
+				worst = r
+			}
+		}
+		return worst
+	}
+	bw, bd := bottleneck(s), bottleneck(sDP)
+	if bw > bd*1.25 {
+		t.Fatalf("waterfill bottleneck %v much worse than DP %v", bw, bd)
+	}
+}
+
+func TestSegmentationVGG16OnPUMA(t *testing.T) {
+	// VGG16 exceeds PUMA's 276 crossbars by far: segmentation must split it
+	// and its giant classifier layers must sit in their own segments.
+	g := models.VGG16()
+	a := arch.PUMAAccelerator()
+	m, _ := cost.New(g, a)
+	s := optimize(t, g, a, Options{Duplicate: true, Pipeline: true})
+	if len(s.Segments) < 2 {
+		t.Fatalf("VGG16 on PUMA produced %d segments, want several", len(s.Segments))
+	}
+	for _, seg := range s.Segments {
+		over := 0
+		for _, id := range seg {
+			if f, ok := m.FPs[id]; ok && f.Rounds(a) > 1 {
+				over++
+			}
+		}
+		if over > 0 && cimCountForTest(m, seg) != 1 {
+			t.Fatalf("multi-round operator shares segment: %v", seg)
+		}
+	}
+	if _, err := perfsim.Simulate(s); err != nil {
+		t.Fatalf("segmented schedule does not simulate: %v", err)
+	}
+}
+
+func cimCountForTest(m *cost.Model, seg []int) int {
+	c := 0
+	for _, id := range seg {
+		if _, ok := m.FPs[id]; ok {
+			c++
+		}
+	}
+	return c
+}
+
+func TestSegmentationJiaVGG16(t *testing.T) {
+	// The Figure 20(a) scenario: VGG16 on Jia's 16-core chip — the model
+	// exceeds on-chip resources, so the pipeline alone helps little and the
+	// P&D duplication matters.
+	g := models.VGG16()
+	a := arch.JiaAccelerator()
+	s := optimize(t, g, a, Options{Duplicate: true, Pipeline: true})
+	if len(s.Segments) < 2 {
+		t.Fatalf("VGG16 on Jia should need segmentation, got %d segments", len(s.Segments))
+	}
+	if _, err := perfsim.Simulate(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentsCoverAllNodesInOrder(t *testing.T) {
+	g := models.VGG16()
+	a := arch.PUMAAccelerator()
+	s := optimize(t, g, a, Options{Duplicate: true})
+	seen := map[int]bool{}
+	count := 0
+	for _, seg := range s.Segments {
+		for _, id := range seg {
+			if seen[id] {
+				t.Fatalf("node %d in two segments", id)
+			}
+			seen[id] = true
+			count++
+		}
+	}
+	nonInput := 0
+	for _, n := range g.Nodes {
+		if n.Op != graph.OpInput {
+			nonInput++
+		}
+	}
+	if count != nonInput {
+		t.Fatalf("segments cover %d nodes, want %d", count, nonInput)
+	}
+}
+
+func TestRefinementNotWorse(t *testing.T) {
+	// Popping nodes must never produce a slower schedule than plain greedy
+	// segmentation (the refinement only accepts improvements).
+	g := models.VGG16()
+	a := arch.JiaAccelerator()
+	m, _ := cost.New(g, a)
+	greedy, err := Optimize(g, a, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := Optimize(g, a, m, Options{Duplicate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := perfsim.SimulateWithModel(greedy, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := perfsim.SimulateWithModel(refined, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Cycles > rg.Cycles*1.02 {
+		t.Fatalf("refined schedule slower: %v vs %v", rr.Cycles, rg.Cycles)
+	}
+}
+
+func TestDPAllocatorPrefersHighWorkOps(t *testing.T) {
+	// Two synthetic ops: one with 100 windows, one with 4; budget for 8
+	// extra copies must mostly go to the first.
+	ops := []opInfo{
+		{id: 1, cim: true, coresCopy: 1, maxDup: 100, windows: 100, perWindow: 10, rounds: 1},
+		{id: 2, cim: true, coresCopy: 1, maxDup: 100, windows: 4, perWindow: 10, rounds: 1},
+	}
+	dup := allocateDP(ops, 10)
+	if dup[1] <= dup[2] {
+		t.Fatalf("dp gave %v; heavy op should receive more copies", dup)
+	}
+	if dup[1]+dup[2] > 10 {
+		t.Fatalf("dp exceeded budget: %v", dup)
+	}
+}
+
+func TestAllocateRejectsImpossibleBudget(t *testing.T) {
+	ops := []opInfo{{id: 1, cim: true, coresCopy: 10, maxDup: 1, windows: 1, perWindow: 1, rounds: 1}}
+	if _, err := allocate(ops, 5, Options{}); err == nil {
+		t.Fatal("accepted impossible budget")
+	}
+}
+
+func TestAllocatorsAblation(t *testing.T) {
+	// The DESIGN.md ablation: both allocators produce feasible schedules on
+	// the same model; DP wins on total runtime, waterfill on bottleneck.
+	ops := []opInfo{
+		{id: 1, cim: true, coresCopy: 2, maxDup: 50, windows: 1000, perWindow: 5, rounds: 1},
+		{id: 2, cim: true, coresCopy: 1, maxDup: 50, windows: 300, perWindow: 5, rounds: 1},
+		{id: 3, cim: true, coresCopy: 4, maxDup: 50, windows: 50, perWindow: 5, rounds: 1},
+	}
+	budget := 40
+	dp := allocateDP(ops, budget)
+	wf := waterfill(ops, budget)
+	sum := func(dup map[int]int) float64 {
+		t := 0.0
+		for _, oi := range ops {
+			t += oi.run(dup[oi.id])
+		}
+		return t
+	}
+	worst := func(dup map[int]int) float64 {
+		w := 0.0
+		for _, oi := range ops {
+			if r := oi.run(dup[oi.id]); r > w {
+				w = r
+			}
+		}
+		return w
+	}
+	if sum(dp) > sum(wf)*1.001 {
+		t.Fatalf("DP total %v worse than waterfill %v", sum(dp), sum(wf))
+	}
+	if worst(wf) > worst(dp)*1.001 {
+		t.Fatalf("waterfill bottleneck %v worse than DP %v", worst(wf), worst(dp))
+	}
+	for _, dup := range []map[int]int{dp, wf} {
+		used := 0
+		for _, oi := range ops {
+			used += dup[oi.id] * oi.coresCopy
+		}
+		if used > budget {
+			t.Fatalf("allocator exceeded budget: %v", dup)
+		}
+	}
+}

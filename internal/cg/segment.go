@@ -1,0 +1,154 @@
+package cg
+
+import (
+	"fmt"
+
+	"cimmlc/internal/arch"
+	"cimmlc/internal/cost"
+	"cimmlc/internal/graph"
+)
+
+// segment implements the resource-adaptive compute graph segmentation of
+// Figure 9(b). When the whole model fits the chip it returns one segment.
+// Otherwise it iteratively constructs the maximal prefix sub-graph that fits
+// within CIM capacity, then refines it by successively popping trailing
+// nodes while the dynamic-programming latency estimate of (remaining segment
+// + popped nodes as their own segment + weight reload) improves. Operators
+// larger than the whole chip (multi-round) always get a dedicated segment.
+func segment(g *graph.Graph, a *arch.Arch, m *cost.Model, infos map[int]opInfo, order []int, opt Options) ([][]int, error) {
+	coreCount := a.Chip.CoreCount()
+	totalCores, anyOversized := 0, false
+	for _, id := range order {
+		oi := infos[id]
+		if oi.cim {
+			if oi.rounds > 1 {
+				anyOversized = true
+			} else {
+				totalCores += oi.coresCopy
+			}
+		}
+	}
+	if totalCores <= coreCount && !anyOversized {
+		return [][]int{order}, nil
+	}
+
+	reload := float64(a.XB.Rows) * a.XB.Device.Profile().WriteLatency
+	var segs [][]int
+	remaining := order
+	for len(remaining) > 0 {
+		prefix, rest, err := takePrefix(infos, remaining, coreCount)
+		if err != nil {
+			return nil, err
+		}
+		if opt.Duplicate && len(rest) > 0 {
+			prefix, rest = refinePrefix(infos, prefix, rest, coreCount, reload, opt)
+		}
+		segs = append(segs, prefix)
+		remaining = rest
+	}
+	return segs, nil
+}
+
+// takePrefix returns the maximal prefix of `order` whose CIM operators fit
+// the core budget; a multi-round operator at the head becomes a singleton
+// prefix.
+func takePrefix(infos map[int]opInfo, order []int, budget int) (prefix, rest []int, err error) {
+	cores := 0
+	for i, id := range order {
+		oi := infos[id]
+		if !oi.cim {
+			continue
+		}
+		if oi.rounds > 1 {
+			if i == 0 {
+				return order[:1], order[1:], nil
+			}
+			return order[:i], order[i:], nil
+		}
+		if oi.coresCopy > budget {
+			return nil, nil, fmt.Errorf("cg: operator %d needs %d cores alone but the chip has %d (and is not multi-round)", id, oi.coresCopy, budget)
+		}
+		if cores+oi.coresCopy > budget {
+			if i == 0 {
+				return nil, nil, fmt.Errorf("cg: first operator %d does not fit the budget", id)
+			}
+			return order[:i], order[i:], nil
+		}
+		cores += oi.coresCopy
+	}
+	return order, nil, nil
+}
+
+// refinePrefix pops trailing node groups (the last CIM operator plus any
+// digital successors after it) off the prefix while the total latency
+// estimate improves: freeing cores lets the remaining operators duplicate
+// more, which can outweigh the extra reload the popped group will pay.
+func refinePrefix(infos map[int]opInfo, prefix, rest []int, budget int, reload float64, opt Options) ([]int, []int) {
+	for cimCount(infos, prefix) > 1 {
+		cut := lastCIMIndex(infos, prefix)
+		if cut <= 0 {
+			break
+		}
+		head, group := prefix[:cut], prefix[cut:]
+		baseline := estimate(infos, prefix, budget, opt)
+		candidate := estimate(infos, head, budget, opt) + estimate(infos, group, budget, opt) + reload
+		if candidate >= baseline {
+			break
+		}
+		// Prepend the popped group to the remaining stream so the next
+		// prefix construction reconsiders it with full capacity.
+		newRest := make([]int, 0, len(group)+len(rest))
+		newRest = append(newRest, group...)
+		newRest = append(newRest, rest...)
+		prefix, rest = head, newRest
+	}
+	return prefix, rest
+}
+
+func cimCount(infos map[int]opInfo, nodes []int) int {
+	c := 0
+	for _, id := range nodes {
+		if infos[id].cim {
+			c++
+		}
+	}
+	return c
+}
+
+func lastCIMIndex(infos map[int]opInfo, nodes []int) int {
+	for i := len(nodes) - 1; i >= 0; i-- {
+		if infos[nodes[i]].cim {
+			return i
+		}
+	}
+	return -1
+}
+
+// estimate returns the summed-runtime latency of the node group after the
+// duplication search — the segmentation loop's DP objective.
+func estimate(infos map[int]opInfo, nodes []int, budget int, opt Options) float64 {
+	var cims []opInfo
+	total := 0.0
+	for _, id := range nodes {
+		oi := infos[id]
+		if oi.cim {
+			cims = append(cims, oi)
+		} else {
+			total += oi.run(1)
+		}
+	}
+	dup, err := allocate(cims, budget, opt)
+	if err != nil {
+		// Should not happen: prefixes are constructed to fit. Fall back to
+		// the unduplicated estimate.
+		dup = map[int]int{}
+	}
+	for _, oi := range cims {
+		d := dup[oi.id]
+		if d < 1 {
+			d = 1
+		}
+		total += oi.run(d)
+	}
+	return total
+}

@@ -1,0 +1,398 @@
+// Package codegen lowers a scheduled, placed model into the meta-operator
+// flow of §3.3 (the right-hand side of Figure 16): cim.readcore flows for CM
+// targets, cim.writexb/readxb flows for XBM targets, and
+// cim.writerow/readrow flows for WLM targets, interleaved with DCOM digital
+// operators and DMOV data movement.
+//
+// Addresses reference a flat buffer space laid out by the Layout allocator:
+// every node's output gets a region (feature maps in NCHW order), and every
+// CIM operator gets per-copy scratch vectors for the gathered MVM inputs.
+// The generated flows execute on internal/funcsim.
+package codegen
+
+import (
+	"fmt"
+
+	"cimmlc/internal/arch"
+	"cimmlc/internal/cost"
+	"cimmlc/internal/graph"
+	"cimmlc/internal/mapping"
+	"cimmlc/internal/mop"
+	"cimmlc/internal/sched"
+)
+
+// Options controls emission.
+type Options struct {
+	// MaxWindowsPerOp caps the emitted MVM window blocks per operator; 0
+	// emits everything. Capped flows illustrate the code shape (the paper
+	// prints "256 similar code segments") but are not executable.
+	MaxWindowsPerOp int64
+}
+
+// Layout is the buffer address map of a generated flow.
+type Layout struct {
+	// Base maps node ID → first word of its output region.
+	Base map[int]int64
+	// Size maps node ID → region length in words.
+	Size map[int]int64
+	// Scratch maps CIM node ID → base of its window-gather scratch area
+	// (dup consecutive vectors of the weight-matrix row count each).
+	Scratch map[int]int64
+	// Total is the number of words the flow addresses.
+	Total int64
+}
+
+// Result bundles the generated flow with its layout.
+type Result struct {
+	Flow      *mop.Flow
+	Layout    *Layout
+	Truncated bool // true when MaxWindowsPerOp cut window loops short
+}
+
+// Generate lowers the compiled model. The schedule and placement must come
+// from the same compilation (internal/core.Compile guarantees that).
+func Generate(g *graph.Graph, a *arch.Arch, s *sched.Schedule, p *mapping.Placement, m *cost.Model, opt Options) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("codegen: %w", err)
+	}
+	lay := buildLayout(g, m, s)
+	e := &emitter{
+		g: g, a: a, s: s, p: p, m: m, lay: lay,
+		maxWin: opt.MaxWindowsPerOp,
+	}
+	flow := &mop.Flow{Mode: string(a.Mode), Graph: g.Name, Arch: a.Name}
+	for segIdx, seg := range s.Segments {
+		for _, id := range seg {
+			if err := e.emitNode(flow, segIdx, id); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flow.Validate(); err != nil {
+		return nil, fmt.Errorf("codegen: generated invalid flow: %w", err)
+	}
+	return &Result{Flow: flow, Layout: lay, Truncated: e.truncated}, nil
+}
+
+func buildLayout(g *graph.Graph, m *cost.Model, s *sched.Schedule) *Layout {
+	lay := &Layout{Base: map[int]int64{}, Size: map[int]int64{}, Scratch: map[int]int64{}}
+	next := int64(0)
+	for _, n := range g.Nodes {
+		size := graph.NumElements(n.OutShape)
+		lay.Base[n.ID] = next
+		lay.Size[n.ID] = size
+		next += size
+	}
+	for id, f := range m.FPs {
+		dup := s.DupOf(id)
+		if f.Rounds(m.Arch) > 1 {
+			dup = 1
+		}
+		lay.Scratch[id] = next
+		next += int64(f.Rows) * int64(dup)
+	}
+	lay.Total = next
+	return lay
+}
+
+type emitter struct {
+	g         *graph.Graph
+	a         *arch.Arch
+	s         *sched.Schedule
+	p         *mapping.Placement
+	m         *cost.Model
+	lay       *Layout
+	maxWin    int64
+	truncated bool
+}
+
+func (e *emitter) emitNode(flow *mop.Flow, segIdx, id int) error {
+	n := e.g.MustNode(id)
+	switch {
+	case n.Op == graph.OpInput:
+		return nil
+	case n.Op.CIMSupported():
+		if e.a.Mode == arch.CM {
+			return e.emitReadCore(flow, id)
+		}
+		return e.emitCrossbarOp(flow, segIdx, id)
+	default:
+		return e.emitDigital(flow, id)
+	}
+}
+
+// emitReadCore produces the CM flow: one cim.readcore per copy, window
+// ranges partitioned contiguously, grouped in a parallel block (Figure 16(c)).
+func (e *emitter) emitReadCore(flow *mop.Flow, id int) error {
+	n := e.g.MustNode(id)
+	f := e.m.FPs[id]
+	dup := e.s.DupOf(id)
+	if f.Rounds(e.a) > 1 {
+		dup = 1
+	}
+	tiles := e.p.TilesOf(id)
+	coreOf := make([]int, dup)
+	for c := range coreOf {
+		coreOf[c] = -1
+	}
+	for _, t := range tiles {
+		if t.Copy < dup && (coreOf[t.Copy] < 0 || t.Core < coreOf[t.Copy]) {
+			coreOf[t.Copy] = t.Core
+		}
+	}
+	per := ceilDiv64(f.MVMs, int64(dup))
+	var body []mop.Op
+	for c := 0; c < dup; c++ {
+		start := int64(c) * per
+		if start >= f.MVMs {
+			break
+		}
+		count := per
+		if start+count > f.MVMs {
+			count = f.MVMs - start
+		}
+		core := coreOf[c]
+		if core < 0 {
+			core = 0
+		}
+		body = append(body, mop.ReadCore{
+			OpType:   string(n.Op),
+			Node:     id,
+			Core:     core,
+			Src:      e.lay.Base[n.Inputs[0]],
+			Dst:      e.lay.Base[id],
+			WinStart: start,
+			WinCount: count,
+		})
+	}
+	if len(body) == 1 {
+		flow.Body = append(flow.Body, body[0])
+	} else {
+		flow.Body = append(flow.Body, mop.Parallel{Body: body})
+	}
+	return nil
+}
+
+// emitCrossbarOp produces the XBM/WLM flow for one CIM operator: weight
+// programming (init section for segment 0 round 0, inline otherwise), then a
+// gather + parallel-activation block per MVM window.
+func (e *emitter) emitCrossbarOp(flow *mop.Flow, segIdx, id int) error {
+	n := e.g.MustNode(id)
+	f := e.m.FPs[id]
+	dup := e.s.DupOf(id)
+	rounds := f.Rounds(e.a)
+	if rounds > 1 {
+		dup = 1
+	}
+	tiles := e.p.TilesOf(id)
+	byCopyRound := map[[2]int][]mapping.Tile{}
+	for _, t := range tiles {
+		key := [2]int{t.Copy, t.Round}
+		byCopyRound[key] = append(byCopyRound[key], t)
+	}
+	stride, winDst := e.dstGeometry(n)
+
+	windows := f.MVMs
+	emitWindows := windows
+	if e.maxWin > 0 && emitWindows > e.maxWin {
+		emitWindows = e.maxWin
+		e.truncated = true
+	}
+
+	for r := 0; r < rounds; r++ {
+		// Weight programming for this round.
+		var writes []mop.Op
+		for c := 0; c < dup; c++ {
+			for _, t := range byCopyRound[[2]int{c, r}] {
+				writes = append(writes, e.writeOps(t)...)
+			}
+		}
+		if segIdx == 0 && r == 0 {
+			flow.Init = append(flow.Init, writes...)
+		} else {
+			flow.Body = append(flow.Body, writes...)
+		}
+		// The MVM window loop.
+		for w := int64(0); w < emitWindows; w++ {
+			copyIdx := int(w % int64(dup))
+			scratch := e.lay.Scratch[id] + int64(copyIdx)*int64(f.Rows)
+			flow.Body = append(flow.Body, e.gatherOp(n, f, w, scratch))
+			reads := e.readOps(n, f, byCopyRound[[2]int{copyIdx, r}], scratch, winDst(w), stride, r > 0)
+			flow.Body = append(flow.Body, reads...)
+		}
+	}
+	return nil
+}
+
+// dstGeometry returns the destination stride and per-window base offset
+// function for a CIM node's output region: NCHW feature maps scatter output
+// channels with stride outH·outW; token matrices write contiguous rows.
+func (e *emitter) dstGeometry(n *graph.Node) (int64, func(int64) int64) {
+	base := e.lay.Base[n.ID]
+	switch {
+	case n.Op == graph.OpConv:
+		hw := int64(n.OutShape[1]) * int64(n.OutShape[2])
+		return hw, func(w int64) int64 { return base + w }
+	case len(n.OutShape) == 2: // token-matrix Dense
+		outF := int64(n.OutShape[1])
+		return 1, func(w int64) int64 { return base + w*outF }
+	default: // vector Dense
+		return 1, func(int64) int64 { return base }
+	}
+}
+
+// gatherOp returns the DMOV that assembles window w's input vector.
+func (e *emitter) gatherOp(n *graph.Node, f mapping.Footprint, w int64, scratch int64) mop.Op {
+	in := n.Inputs[0]
+	switch {
+	case n.Op == graph.OpConv:
+		return mop.MovWindow{Node: n.ID, Window: w, SrcBase: e.lay.Base[in], Dst: scratch}
+	case len(n.OutShape) == 2:
+		return mop.Mov{Src: e.lay.Base[in] + w*int64(f.Rows), Dst: scratch, Len: int64(f.Rows)}
+	default:
+		return mop.Mov{Src: e.lay.Base[in], Dst: scratch, Len: int64(f.Rows)}
+	}
+}
+
+// writeOps programs one placed tile (whole-crossbar write in XBM, row-range
+// writes in WLM).
+func (e *emitter) writeOps(t mapping.Tile) []mop.Op {
+	if e.a.Mode == arch.XBM {
+		return []mop.Op{mop.WriteXB{
+			XB: t.XB, Node: t.Node,
+			CellRowOff: t.CellRowOff, CellColOff: t.CellColOff,
+			Rows: t.Rows, Cols: t.CellCols,
+		}}
+	}
+	return []mop.Op{mop.WriteRow{
+		XB: t.XB, Row: t.RowStart, NumRows: t.Rows, Node: t.Node,
+		CellRowOff: t.CellRowOff, CellColOff: t.CellColOff, Cols: t.CellCols,
+	}}
+}
+
+// readOps emits the activation of one window on one copy's tiles. XBM
+// activates whole crossbars in a single parallel block; WLM activates
+// parallel-row chunks, one parallel block per chunk wave (later waves are
+// the "next cycle" activations of Figure 16(e)).
+func (e *emitter) readOps(n *graph.Node, f mapping.Footprint, tiles []mapping.Tile, scratch, winBase, stride int64, laterRound bool) []mop.Op {
+	s := int64(e.a.CellsPerWeight())
+	dstFor := func(t mapping.Tile) int64 {
+		return winBase + int64(t.CellColOff)/s*stride
+	}
+	if e.a.Mode == arch.XBM {
+		var body []mop.Op
+		for _, t := range tiles {
+			body = append(body, mop.ReadXB{
+				XB:        t.XB,
+				Src:       scratch + int64(t.CellRowOff),
+				Dst:       dstFor(t),
+				DstStride: stride,
+				Acc:       laterRound || t.CellRowOff > 0,
+			})
+		}
+		return wrapParallel(body)
+	}
+	// WLM: chunk each tile's rows by parallel_row and emit wave by wave.
+	pr := e.a.XB.ParallelRow
+	maxWaves := 0
+	for _, t := range tiles {
+		if w := (t.Rows + pr - 1) / pr; w > maxWaves {
+			maxWaves = w
+		}
+	}
+	var out []mop.Op
+	for wave := 0; wave < maxWaves; wave++ {
+		var body []mop.Op
+		for _, t := range tiles {
+			rowOff := wave * pr
+			if rowOff >= t.Rows {
+				continue
+			}
+			rows := pr
+			if rowOff+rows > t.Rows {
+				rows = t.Rows - rowOff
+			}
+			body = append(body, mop.ReadRow{
+				XB:        t.XB,
+				Row:       t.RowStart + rowOff,
+				NumRows:   rows,
+				Src:       scratch + int64(t.CellRowOff) + int64(rowOff),
+				Dst:       dstFor(t),
+				DstStride: stride,
+				Acc:       laterRound || wave > 0 || t.CellRowOff > 0,
+			})
+		}
+		out = append(out, wrapParallel(body)...)
+	}
+	return out
+}
+
+func wrapParallel(body []mop.Op) []mop.Op {
+	switch len(body) {
+	case 0:
+		return nil
+	case 1:
+		return body
+	default:
+		return []mop.Op{mop.Parallel{Body: body}}
+	}
+}
+
+// emitDigital lowers a non-CIM node to a DCOM (or a plain mov for the pure
+// data-movement reshapes).
+func (e *emitter) emitDigital(flow *mop.Flow, id int) error {
+	n := e.g.MustNode(id)
+	outLen := graph.NumElements(n.OutShape)
+	switch n.Op {
+	case graph.OpFlatten, graph.OpIdentity:
+		flow.Body = append(flow.Body, mop.Mov{
+			Src: e.lay.Base[n.Inputs[0]], Dst: e.lay.Base[id], Len: outLen,
+		})
+		return nil
+	}
+	fn, ok := dcomFn(n.Op)
+	if !ok {
+		return fmt.Errorf("codegen: no DCOM lowering for %s", n.Op)
+	}
+	srcs := make([]int64, len(n.Inputs))
+	for i, in := range n.Inputs {
+		srcs[i] = e.lay.Base[in]
+	}
+	flow.Body = append(flow.Body, mop.Dcom{Fn: fn, Node: id, Srcs: srcs, Dst: e.lay.Base[id], Len: outLen})
+	return nil
+}
+
+func dcomFn(op graph.Op) (mop.DcomFn, bool) {
+	switch op {
+	case graph.OpReLU:
+		return mop.FnReLU, true
+	case graph.OpGELU:
+		return mop.FnGELU, true
+	case graph.OpAdd:
+		return mop.FnAdd, true
+	case graph.OpMaxPool:
+		return mop.FnMaxPool, true
+	case graph.OpAvgPool:
+		return mop.FnAvgPool, true
+	case graph.OpGlobalAvgPool:
+		return mop.FnGAP, true
+	case graph.OpSoftmax:
+		return mop.FnSoftmax, true
+	case graph.OpLayerNorm:
+		return mop.FnLayerNorm, true
+	case graph.OpMatMul:
+		return mop.FnMatMul, true
+	case graph.OpTranspose:
+		return mop.FnTranspose, true
+	case graph.OpConcat:
+		return mop.FnConcat, true
+	}
+	return "", false
+}
+
+func ceilDiv64(a, b int64) int64 {
+	if b <= 0 {
+		panic("codegen: ceilDiv64 by non-positive divisor")
+	}
+	return (a + b - 1) / b
+}

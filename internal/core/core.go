@@ -1,0 +1,107 @@
+// Package core is the CIM-MLC compiler driver: the multi-level scheduling
+// workflow of Figure 3. Given a computation graph and a hardware
+// abstraction, it applies CG-grained optimization always, MVM-grained
+// optimization when the architecture exposes XBM or finer, and VVM-grained
+// optimization when it exposes WLM — then places the result, simulates it,
+// and (optionally) generates the meta-operator flow.
+package core
+
+import (
+	"fmt"
+
+	"cimmlc/internal/arch"
+	"cimmlc/internal/cg"
+	"cimmlc/internal/cost"
+	"cimmlc/internal/graph"
+	"cimmlc/internal/mapping"
+	"cimmlc/internal/mvm"
+	"cimmlc/internal/perfsim"
+	"cimmlc/internal/sched"
+	"cimmlc/internal/vvm"
+)
+
+// Options tunes the compilation. The zero value enables every optimization
+// the target's computing mode supports — the paper's full CIM-MLC stack.
+type Options struct {
+	// DisablePipeline / DisableDuplication / DisableStagger / DisableRemap
+	// switch off individual techniques (used by the ablation experiments).
+	DisablePipeline    bool
+	DisableDuplication bool
+	DisableStagger     bool
+	DisableRemap       bool
+	// MaxLevel caps the optimization at a coarser computing mode than the
+	// architecture exposes ("" means no cap): CM stops after CG-grained,
+	// XBM after MVM-grained.
+	MaxLevel arch.Mode
+	// Allocator overrides the CG duplication search strategy.
+	Allocator cg.Allocator
+}
+
+// Result bundles everything the compiler produced.
+type Result struct {
+	Schedule  *sched.Schedule
+	Placement *mapping.Placement
+	Report    *perfsim.Report
+	Model     *cost.Model
+}
+
+// Compile runs the multi-level scheduling workflow.
+func Compile(g *graph.Graph, a *arch.Arch, opt Options) (*Result, error) {
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := g.InferShapes(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	m, err := cost.New(g, a)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	level := a.Mode
+	if opt.MaxLevel.Valid() && !opt.MaxLevel.AtLeast(level) {
+		level = opt.MaxLevel
+	}
+
+	// CG-grained optimization (always, §3.3.2).
+	s, err := cg.Optimize(g, a, m, cg.Options{
+		Pipeline:  !opt.DisablePipeline,
+		Duplicate: !opt.DisableDuplication,
+		Allocator: opt.Allocator,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: CG-grained optimization: %w", err)
+	}
+
+	// MVM-grained optimization (XBM and WLM, §3.3.3).
+	if level.AtLeast(arch.XBM) {
+		s, err = mvm.Optimize(s, m, mvm.Options{
+			Duplicate: !opt.DisableDuplication,
+			Stagger:   !opt.DisableStagger,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: MVM-grained optimization: %w", err)
+		}
+	}
+
+	// VVM-grained optimization (WLM only, §3.3.4).
+	if level.AtLeast(arch.WLM) {
+		s, err = vvm.Optimize(s, m, vvm.Options{Remap: !opt.DisableRemap})
+		if err != nil {
+			return nil, fmt.Errorf("core: VVM-grained optimization: %w", err)
+		}
+	}
+
+	p, err := mapping.Place(g, a, m.FPs, s.Dup, s.Remap, s.Segments)
+	if err != nil {
+		return nil, fmt.Errorf("core: placement: %w", err)
+	}
+	if err := p.Validate(g, m.FPs); err != nil {
+		return nil, fmt.Errorf("core: placement validation: %w", err)
+	}
+	rep, err := perfsim.SimulateWithModel(s, m)
+	if err != nil {
+		return nil, fmt.Errorf("core: simulation: %w", err)
+	}
+	return &Result{Schedule: s, Placement: p, Report: rep, Model: m}, nil
+}

@@ -1,0 +1,286 @@
+// Package cost is the cycle-level cost model of the reproduction: the single
+// source of truth for how many cycles a crossbar MVM, a digital ALU
+// operator, a buffer stream or a NoC transfer takes, and how much power an
+// active crossbar draws.
+//
+// Both the compile-time schedulers (internal/cg, internal/mvm, internal/vvm)
+// and the performance simulator (internal/perfsim) consume these primitives,
+// playing the role of the NeuroSim/PUMA-sim-derived latency model of §4.1
+// (see DESIGN.md's substitution table). Absolute values are in abstract
+// cycles and power units; every experiment reports ratios.
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"cimmlc/internal/arch"
+	"cimmlc/internal/graph"
+	"cimmlc/internal/mapping"
+)
+
+// Model bundles the graph, architecture and footprints a cost query needs.
+type Model struct {
+	Arch  *arch.Arch
+	Graph *graph.Graph
+	FPs   map[int]mapping.Footprint
+}
+
+// New builds a cost model, computing footprints for every CIM node.
+func New(g *graph.Graph, a *arch.Arch) (*Model, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	fps, err := mapping.Footprints(g, a)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Arch: a, Graph: g, FPs: fps}, nil
+}
+
+// OpCost describes one operator's execution profile under given scheduling
+// decisions. The operator processes Windows work units; each unit occupies a
+// pipeline stage for PerWindow cycles. Run() is the end-to-end busy time.
+type OpCost struct {
+	Node      int
+	Windows   int64   // work units per inference (MVMs or spatial positions)
+	PerWindow float64 // stage cycles per unit after duplication
+	Compute   float64 // compute component of PerWindow (before max with IO)
+	IO        float64 // IO component of PerWindow
+	Rounds    int     // sequential weight-loading rounds (oversized operators)
+	Reload    float64 // cycles to (re)program one round's weights
+	// FirstFrac is the fraction of this operator's input that must exist
+	// before it can emit its first output — the pipeline-overlap coupling
+	// used by the latency estimator.
+	FirstFrac float64
+}
+
+// Run returns the operator's total busy cycles executed alone.
+func (c OpCost) Run() float64 {
+	perRound := float64(c.Windows) * c.PerWindow
+	total := float64(c.Rounds)*perRound + float64(c.Rounds)*c.Reload
+	return total
+}
+
+// CIMOp returns the cost of a CIM-supported node executed with `dup`
+// spatially concurrent copies and WLM remap factor `remap` (both ≥1).
+func (m *Model) CIMOp(node, dup, remap int) (OpCost, error) {
+	f, ok := m.FPs[node]
+	if !ok {
+		return OpCost{}, fmt.Errorf("cost: node %d is not a CIM operator", node)
+	}
+	if dup < 1 || remap < 1 {
+		return OpCost{}, fmt.Errorf("cost: node %d: dup %d / remap %d must be ≥1", node, dup, remap)
+	}
+	a := m.Arch
+	if remap > f.RowGroups {
+		remap = f.RowGroups
+	}
+	rounds := f.Rounds(a)
+	if rounds > 1 {
+		dup, remap = 1, 1
+	}
+
+	// Compute: DAC phases × sequential row groups × device read latency,
+	// plus a shift-add merge tree over the row stripes and one ADC drain.
+	groups := ceilDiv(f.RowGroups, remap)
+	phases := float64(a.DACPhases())
+	read := a.XB.Device.Profile().ReadLatency
+	merge := log2Ceil(f.TilesR*remap) + 1 // +1 ADC pipeline drain
+	compute := phases*float64(groups)*read + float64(merge)
+
+	// IO per window through the local buffer: the input vector in, the
+	// output vector out (both ActBits wide).
+	inBits := int64(f.Rows) * int64(a.ActBits)
+	outBits := int64(f.Cols) * int64(a.ActBits)
+	io := arch.BufferCycles(inBits, a.Core.L1BW) + arch.BufferCycles(outBits, a.Core.L1BW)
+
+	per := math.Max(compute, io)
+	windows := ceilDiv64(f.MVMs, int64(dup))
+	return OpCost{
+		Node:      node,
+		Windows:   windows,
+		PerWindow: per,
+		Compute:   compute,
+		IO:        io,
+		Rounds:    rounds,
+		Reload:    m.reloadCycles(f, rounds),
+		FirstFrac: m.firstFrac(node),
+	}, nil
+}
+
+// reloadCycles estimates programming one round's weights: each core owns one
+// write port, so its crossbars program serially (wordline by wordline at the
+// device write latency) while cores program in parallel. Only multi-round
+// operators pay it during inference; single-round weights are programmed
+// once at initialization.
+func (m *Model) reloadCycles(f mapping.Footprint, rounds int) float64 {
+	if rounds <= 1 {
+		return 0
+	}
+	return float64(m.Arch.XB.Rows) * m.Arch.XB.Device.Profile().WriteLatency * float64(m.Arch.Core.XBCount())
+}
+
+// DigitalOp returns the cost of a non-CIM node on the digital ALUs.
+func (m *Model) DigitalOp(node int) (OpCost, error) {
+	n := m.Graph.MustNode(node)
+	if n.Op.CIMSupported() || n.Op == graph.OpInput {
+		return OpCost{}, fmt.Errorf("cost: node %d (%s) is not a digital operator", node, n.Op)
+	}
+	windows, perWindowOps := digitalWork(m.Graph, n)
+	// Digital operators shard across the chip ALU plus every core's ALU
+	// (activations are already distributed across the cores holding the
+	// producing operator's copies), so the aggregate capacity applies.
+	alu := m.Arch.Chip.ALUOps + m.Arch.Core.ALUOps*float64(m.Arch.Chip.CoreCount())
+	var per float64
+	if alu > 0 {
+		per = perWindowOps / alu
+	}
+	// Stream the produced elements through the global buffer.
+	outBits := graph.NumElements(n.OutShape) * int64(m.Arch.ActBits)
+	io := arch.BufferCycles(outBits, m.Arch.Chip.L0BW) / float64(maxI64(windows, 1))
+	if io > per {
+		per = io
+	}
+	if per < 1.0/1024 {
+		per = 1.0 / 1024 // a data-movement floor so zero-cost ops cannot vanish
+	}
+	return OpCost{
+		Node:      node,
+		Windows:   windows,
+		PerWindow: per,
+		Compute:   per,
+		Rounds:    1,
+		FirstFrac: m.firstFrac(node),
+	}, nil
+}
+
+// Op dispatches to CIMOp or DigitalOp (Input nodes cost nothing).
+func (m *Model) Op(node, dup, remap int) (OpCost, error) {
+	n := m.Graph.MustNode(node)
+	switch {
+	case n.Op == graph.OpInput:
+		return OpCost{Node: node, Windows: 0, Rounds: 1}, nil
+	case n.Op.CIMSupported():
+		return m.CIMOp(node, dup, remap)
+	default:
+		return m.DigitalOp(node)
+	}
+}
+
+// digitalWork returns (windows, ALU ops per window) for a digital node.
+func digitalWork(g *graph.Graph, n *graph.Node) (int64, float64) {
+	out := n.OutShape
+	switch n.Op {
+	case graph.OpReLU, graph.OpAdd, graph.OpIdentity, graph.OpFlatten, graph.OpConcat, graph.OpTranspose:
+		w, elems := spatialWindows(out)
+		factor := 1.0
+		if n.Op == graph.OpAdd {
+			factor = 1.0
+		}
+		return w, float64(elems) / float64(w) * factor
+	case graph.OpGELU:
+		w, elems := spatialWindows(out)
+		return w, float64(elems) / float64(w) * 8 // tanh-series approximation
+	case graph.OpMaxPool, graph.OpAvgPool:
+		w, elems := spatialWindows(out)
+		k := float64(n.Attr.KernelH * n.Attr.KernelW)
+		return w, float64(elems) / float64(w) * k
+	case graph.OpGlobalAvgPool:
+		in := g.MustNode(n.Inputs[0]).OutShape
+		return 1, float64(graph.NumElements(in))
+	case graph.OpSoftmax, graph.OpLayerNorm:
+		w, elems := spatialWindows(out)
+		return w, float64(elems) / float64(w) * 4 // max/exp/sum/normalize passes
+	case graph.OpMatMul:
+		a := g.MustNode(n.Inputs[0]).OutShape
+		rows := int64(out[0])
+		macs := 2 * float64(a[1]) * float64(out[1]) // per output row
+		return rows, macs
+	}
+	_, elems := spatialWindows(out)
+	return 1, float64(elems)
+}
+
+// spatialWindows maps an output shape to (windows, total elements):
+// [C,H,W] → H·W windows; [T,D] → T windows; [n] → 1 window.
+func spatialWindows(shape []int) (int64, int64) {
+	elems := graph.NumElements(shape)
+	switch len(shape) {
+	case 3:
+		return int64(shape[1]) * int64(shape[2]), elems
+	case 2:
+		return int64(shape[0]), elems
+	default:
+		return 1, elems
+	}
+}
+
+// firstFrac returns the fraction of a node's input that must be produced
+// before the node can emit its first output, the pipelining coupling of
+// adjacent operators: a 3×3 conv needs its first 3 input rows, an
+// elementwise op only the first element, a Dense/GAP/MatMul everything.
+func (m *Model) firstFrac(node int) float64 {
+	n := m.Graph.MustNode(node)
+	switch n.Op {
+	case graph.OpConv, graph.OpMaxPool, graph.OpAvgPool:
+		in := m.Graph.MustNode(n.Inputs[0]).OutShape
+		if len(in) == 3 && in[1] > 0 {
+			f := float64(n.Attr.KernelH) / float64(in[1])
+			if f > 1 {
+				f = 1
+			}
+			return f
+		}
+		return 1
+	case graph.OpReLU, graph.OpGELU, graph.OpAdd, graph.OpIdentity, graph.OpConcat:
+		return 0.01
+	case graph.OpSoftmax, graph.OpLayerNorm:
+		// Row-wise over token matrices: one token's features suffice.
+		if len(n.OutShape) == 2 {
+			return 1 / float64(n.OutShape[0])
+		}
+		return 1
+	case graph.OpDense:
+		// Token-matrix Dense consumes token rows independently; vector
+		// Dense needs the whole input.
+		if len(n.OutShape) == 2 {
+			return 1 / float64(n.OutShape[0])
+		}
+		return 1
+	default:
+		return 1
+	}
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		panic("cost: ceilDiv by non-positive divisor")
+	}
+	return (a + b - 1) / b
+}
+
+func ceilDiv64(a, b int64) int64 {
+	if b <= 0 {
+		panic("cost: ceilDiv64 by non-positive divisor")
+	}
+	return (a + b - 1) / b
+}
+
+func log2Ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,294 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"cimmlc/internal/arch"
+	"cimmlc/internal/graph"
+	"cimmlc/internal/models"
+)
+
+func toyModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := New(models.ConvReLU(), arch.ToyExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCIMOpToyNumbers(t *testing.T) {
+	m := toyModel(t)
+	node := m.Graph.CIMNodeIDs()[0]
+	c, err := m.CIMOp(node, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Toy: 8 DAC phases × 2 row groups (27 rows / 16 parallel) × SRAM read 1
+	// + merge (1 row stripe → log2 0) + 1 ADC drain = 17 compute cycles.
+	if c.Compute != 17 {
+		t.Fatalf("compute = %v, want 17", c.Compute)
+	}
+	if c.Windows != 1024 {
+		t.Fatalf("windows = %d, want 1024", c.Windows)
+	}
+	if c.Rounds != 1 || c.Reload != 0 {
+		t.Fatalf("rounds/reload = %d/%v, want 1/0", c.Rounds, c.Reload)
+	}
+}
+
+func TestCIMOpDuplicationDividesWindows(t *testing.T) {
+	m := toyModel(t)
+	node := m.Graph.CIMNodeIDs()[0]
+	c1, _ := m.CIMOp(node, 1, 1)
+	c4, _ := m.CIMOp(node, 4, 1)
+	if c4.Windows != c1.Windows/4 {
+		t.Fatalf("dup-4 windows = %d, want %d", c4.Windows, c1.Windows/4)
+	}
+	if c4.PerWindow != c1.PerWindow {
+		t.Fatal("duplication must not change per-window cycles")
+	}
+	if c4.Run() >= c1.Run() {
+		t.Fatal("duplication must reduce run time")
+	}
+}
+
+func TestCIMOpRemapReducesCompute(t *testing.T) {
+	m := toyModel(t)
+	node := m.Graph.CIMNodeIDs()[0]
+	c1, _ := m.CIMOp(node, 1, 1)
+	c2, _ := m.CIMOp(node, 1, 2)
+	// Remap 2 halves the row groups: 8×1×1 + merge(2 stripes→1) + 1 = 10.
+	if c2.Compute >= c1.Compute {
+		t.Fatalf("remap did not reduce compute: %v vs %v", c2.Compute, c1.Compute)
+	}
+	if c2.Compute != 10 {
+		t.Fatalf("remapped compute = %v, want 10", c2.Compute)
+	}
+	// Remap beyond RowGroups clamps.
+	c99, _ := m.CIMOp(node, 1, 99)
+	if c99.Compute != c2.Compute {
+		t.Fatalf("over-remap compute = %v, want %v", c99.Compute, c2.Compute)
+	}
+}
+
+func TestCIMOpErrors(t *testing.T) {
+	m := toyModel(t)
+	node := m.Graph.CIMNodeIDs()[0]
+	if _, err := m.CIMOp(2, 1, 1); err == nil { // relu
+		t.Fatal("accepted non-CIM node")
+	}
+	if _, err := m.CIMOp(node, 0, 1); err == nil {
+		t.Fatal("accepted dup 0")
+	}
+	if _, err := m.CIMOp(node, 1, 0); err == nil {
+		t.Fatal("accepted remap 0")
+	}
+}
+
+func TestDigitalOpReLU(t *testing.T) {
+	m := toyModel(t)
+	c, err := m.DigitalOp(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ReLU over [32,32,32]: 1024 windows of 32 elements each; toy has ideal
+	// ALU (0 → unconstrained), so only the movement floor applies.
+	if c.Windows != 1024 {
+		t.Fatalf("relu windows = %d, want 1024", c.Windows)
+	}
+	if c.PerWindow <= 0 {
+		t.Fatal("relu per-window cycles must be positive")
+	}
+}
+
+func TestDigitalOpALUBound(t *testing.T) {
+	g := models.ConvReLU()
+	a := arch.ToyExample()
+	a.Chip.ALUOps = 8 // slow ALU
+	m, err := New(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := m.DigitalOp(2)
+	// 32 elements per window / 8 ops per cycle = 4 cycles.
+	if c.PerWindow != 4 {
+		t.Fatalf("ALU-bound relu per-window = %v, want 4", c.PerWindow)
+	}
+}
+
+func TestDigitalOpErrors(t *testing.T) {
+	m := toyModel(t)
+	if _, err := m.DigitalOp(1); err == nil { // conv
+		t.Fatal("accepted CIM node as digital")
+	}
+	if _, err := m.DigitalOp(0); err == nil { // input
+		t.Fatal("accepted input node as digital")
+	}
+}
+
+func TestOpDispatch(t *testing.T) {
+	m := toyModel(t)
+	in, _ := m.Op(0, 1, 1)
+	if in.Windows != 0 {
+		t.Fatal("input node should cost nothing")
+	}
+	conv, _ := m.Op(1, 2, 1)
+	if conv.Windows != 512 {
+		t.Fatalf("conv windows = %d, want 512", conv.Windows)
+	}
+	relu, _ := m.Op(2, 1, 1)
+	if relu.Windows != 1024 {
+		t.Fatalf("relu windows = %d", relu.Windows)
+	}
+}
+
+func TestOversizedOpRoundsAndReload(t *testing.T) {
+	b := graph.NewBuilder("big", 4096)
+	b.Dense(512)
+	g := b.MustFinish()
+	a := arch.ToyExample() // 4 crossbars of 32×128
+	m, err := New(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := g.CIMNodeIDs()[0]
+	c, err := m.CIMOp(node, 8, 4) // dup/remap must be ignored for oversized ops
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rounds <= 1 {
+		t.Fatalf("rounds = %d, want >1", c.Rounds)
+	}
+	if c.Reload <= 0 {
+		t.Fatal("oversized op must pay reload cycles")
+	}
+	if c.Windows != 1 {
+		t.Fatalf("oversized dense windows = %d, want 1 (dup forced to 1)", c.Windows)
+	}
+	// Run must include one reload per round.
+	want := float64(c.Rounds)*float64(c.Windows)*c.PerWindow + float64(c.Rounds)*c.Reload
+	if math.Abs(c.Run()-want) > 1e-9 {
+		t.Fatalf("Run = %v, want %v", c.Run(), want)
+	}
+}
+
+func TestReloadScalesWithDeviceWriteLatency(t *testing.T) {
+	b := graph.NewBuilder("big", 4096)
+	b.Dense(512)
+	g := b.MustFinish()
+	sram := arch.ToyExample()
+	reram := arch.ToyExample()
+	reram.XB.Device = arch.ReRAM
+	ms, _ := New(g, sram)
+	mr, _ := New(g, reram)
+	node := g.CIMNodeIDs()[0]
+	cs, _ := ms.CIMOp(node, 1, 1)
+	cr, _ := mr.CIMOp(node, 1, 1)
+	if cr.Reload <= cs.Reload {
+		t.Fatalf("ReRAM reload %v must exceed SRAM reload %v", cr.Reload, cs.Reload)
+	}
+}
+
+func TestFirstFrac(t *testing.T) {
+	g := models.ResNet18()
+	a := arch.ISAACBaseline()
+	m, err := New(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stem conv: kernel 7 over 224 input rows.
+	stem := g.CIMNodeIDs()[0]
+	c, _ := m.CIMOp(stem, 1, 1)
+	if math.Abs(c.FirstFrac-7.0/224) > 1e-9 {
+		t.Fatalf("stem first frac = %v, want 7/224", c.FirstFrac)
+	}
+	// The final Dense consumes a vector: frac must be 1.
+	ids := g.CIMNodeIDs()
+	head := ids[len(ids)-1]
+	ch, _ := m.CIMOp(head, 1, 1)
+	if ch.FirstFrac != 1 {
+		t.Fatalf("head first frac = %v, want 1", ch.FirstFrac)
+	}
+	// Elementwise ReLU can start almost immediately.
+	for _, n := range g.Nodes {
+		if n.Op == graph.OpReLU {
+			cr, _ := m.DigitalOp(n.ID)
+			if cr.FirstFrac > 0.05 {
+				t.Fatalf("relu first frac = %v, want ≈0", cr.FirstFrac)
+			}
+			break
+		}
+	}
+}
+
+func TestViTMatMulCost(t *testing.T) {
+	g := models.ViTTiny()
+	a := arch.ISAACBaseline()
+	m, err := New(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range g.Nodes {
+		if n.Op == graph.OpMatMul {
+			c, err := m.DigitalOp(n.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Windows != int64(n.OutShape[0]) {
+				t.Fatalf("matmul windows = %d, want %d", c.Windows, n.OutShape[0])
+			}
+			if c.PerWindow <= 0 {
+				t.Fatal("matmul per-window must be positive")
+			}
+			return
+		}
+	}
+	t.Fatal("no matmul found in ViT")
+}
+
+func TestPowerDecompositionMatchesPaperSplit(t *testing.T) {
+	a := arch.PUMAAccelerator()
+	p := PeakPower(a, 100)
+	total := p.Total()
+	xbShare := p.XB / total
+	adcShare := p.ADCDAC / total
+	moveShare := p.Move / total
+	// §4.2: ADC/DAC 10%, crossbar 83%, movement 7%.
+	if math.Abs(xbShare-0.83) > 0.01 {
+		t.Fatalf("XB share = %.3f, want ≈0.83", xbShare)
+	}
+	if math.Abs(adcShare-0.10) > 0.01 {
+		t.Fatalf("ADC/DAC share = %.3f, want ≈0.10", adcShare)
+	}
+	if math.Abs(moveShare-0.07) > 0.01 {
+		t.Fatalf("movement share = %.3f, want ≈0.07", moveShare)
+	}
+}
+
+func TestADCDACPowerScalesWithPrecision(t *testing.T) {
+	hi := arch.ISAACBaseline()   // 8-bit ADC
+	lo := arch.JainAccelerator() // 6-bit ADC
+	if !(ADCDACPower(lo) < ADCDACPower(hi)) {
+		t.Fatal("lower-precision ADC should draw less power")
+	}
+}
+
+func TestReadEnergyPositive(t *testing.T) {
+	for _, name := range arch.PresetNames() {
+		a, _ := arch.Preset(name)
+		if ReadEnergyPerXBWindow(a) <= 0 {
+			t.Fatalf("%s: non-positive read energy", name)
+		}
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10}
+	for n, want := range cases {
+		if got := log2Ceil(n); got != want {
+			t.Fatalf("log2Ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package cost
+
+import "cimmlc/internal/arch"
+
+// Power constants. The unit is "one active crossbar array" = 1.0; converter
+// and movement overheads are expressed relative to it. The defaults are
+// calibrated so that a fully-active PUMA-style design shows the §4.2 peak
+// power decomposition: ADC/DAC ≈ 10%, crossbar activation ≈ 83%, data
+// movement ≈ 7%.
+const (
+	// XBActivePower is the array (wordline/bitline/cell) power of one
+	// activated crossbar.
+	XBActivePower = 1.0
+	// ADCDACPowerPerXB is the converter power tied to one activated
+	// crossbar at the reference 8-bit ADC / 1-bit DAC operating point;
+	// ADCDACPower scales it with the actual converter precision.
+	ADCDACPowerPerXB = 0.1205
+	// MovePowerPerXB is the NoC/buffer movement power attributable to one
+	// activated crossbar's traffic.
+	MovePowerPerXB = 0.0843
+)
+
+// PowerBreakdown decomposes a peak power figure.
+type PowerBreakdown struct {
+	XB     float64
+	ADCDAC float64
+	Move   float64
+}
+
+// Total returns the summed peak power.
+func (p PowerBreakdown) Total() float64 { return p.XB + p.ADCDAC + p.Move }
+
+// ADCDACPower returns the converter power of one active crossbar on the
+// given architecture. ADC power is strongly super-linear in resolution (a
+// flash ADC doubles comparators per bit); a 2^(bits-8) scaling relative to
+// the 8-bit reference captures the trend without a full circuit model.
+func ADCDACPower(a *arch.Arch) float64 {
+	scale := 1.0
+	for b := a.XB.ADCBits; b < 8; b++ {
+		scale /= 2
+	}
+	for b := a.XB.ADCBits; b > 8; b-- {
+		scale *= 2
+	}
+	return ADCDACPowerPerXB * scale
+}
+
+// PeakPower converts a peak concurrent-active-crossbar count into power
+// units with the architecture's converter scaling.
+func PeakPower(a *arch.Arch, activeXBs float64) PowerBreakdown {
+	return PowerBreakdown{
+		XB:     XBActivePower * activeXBs,
+		ADCDAC: ADCDACPower(a) * activeXBs,
+		Move:   MovePowerPerXB * activeXBs,
+	}
+}
+
+// ReadEnergyPerXBWindow returns the energy of one crossbar activation
+// (all row groups, all DAC phases of one MVM window).
+func ReadEnergyPerXBWindow(a *arch.Arch) float64 {
+	cells := float64(a.XB.Rows * a.XB.Cols)
+	return cells * a.XB.Device.Profile().ReadEnergy * float64(a.DACPhases())
+}

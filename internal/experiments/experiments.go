@@ -1,0 +1,84 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4). Each Fig*/Table* function runs the relevant compilations
+// and simulations and returns a Table whose rows mirror the series the paper
+// plots; cmd/cimbench prints them and the repository's bench_test.go wraps
+// them as benchmarks. EXPERIMENTS.md records paper-reported versus measured
+// values for each.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is one regenerated experiment.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    []Row
+	Notes   []string
+}
+
+// Row is one labelled series entry.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	width := 24
+	for _, r := range t.Rows {
+		if len(r.Label) > width {
+			width = len(r.Label)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%14s", c)
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", width+2, r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, "%14.4g", v)
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner is an experiment entry point.
+type Runner func() (*Table, error)
+
+var registry = map[string]Runner{}
+
+func register(id string, fn Runner) {
+	registry[id] = fn
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string) (*Table, error) {
+	fn, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return fn()
+}
+
+// IDs lists registered experiments in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig16", "fig20a", "fig20b", "fig20c", "fig20d",
+		"fig21a", "fig21b", "fig21c", "fig21d",
+		"fig22a", "fig22b", "fig22c", "fig22d", "table1",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("registered experiments %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registered experiments %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("fig99"); err == nil {
+		t.Fatal("accepted unknown experiment")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tab := &Table{
+		ID: "x", Title: "t", Columns: []string{"a", "b"},
+		Rows:  []Row{{"r1", []float64{1, 2}}},
+		Notes: []string{"n"},
+	}
+	s := tab.Format()
+	for _, want := range []string{"x — t", "r1", "a", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Format missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable1EveryDeviceCompiles(t *testing.T) {
+	tab, err := Run("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("device rows = %d, want 5", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		for i, v := range r.Values {
+			if v != 1 {
+				t.Errorf("%s × %s failed to compile", r.Label, tab.Columns[i])
+			}
+		}
+	}
+}
+
+func TestFig16FlowShapes(t *testing.T) {
+	flows, err := Fig16Flows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := flows["CM"].Flow.Print()
+	if !strings.Contains(cm, "cim.readcore") {
+		t.Fatal("CM flow missing readcore")
+	}
+	xbm := flows["XBM"].Flow.Print()
+	if !strings.Contains(xbm, "cim.writexb") || !strings.Contains(xbm, "cim.readxb") {
+		t.Fatal("XBM flow missing crossbar ops")
+	}
+	wlm := flows["WLM"].Flow.Print()
+	if !strings.Contains(wlm, "cim.writerow") || !strings.Contains(wlm, "cim.readrow") {
+		t.Fatal("WLM flow missing wordline ops")
+	}
+}
+
+// Shape assertions for the headline results. Each test checks direction and
+// rough magnitude, not the paper's absolute values (EXPERIMENTS.md records
+// the comparison).
+
+func TestFig20dShape(t *testing.T) {
+	tab, err := Run("fig20d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	noOpt := tab.Rows[0].Values[0]
+	poly := tab.Rows[1].Values[0]
+	mlc := tab.Rows[2].Values[0]
+	if !(mlc < poly && poly < noOpt) {
+		t.Fatalf("ordering wrong: mlc=%v poly=%v noopt=%v", mlc, poly, noOpt)
+	}
+	if poly/mlc < 2 {
+		t.Fatalf("CIM-MLC over Poly-Schedule = %.2f, want a clear multiple (paper 3.2×)", poly/mlc)
+	}
+	if 1-poly/noOpt < 0.5 {
+		t.Fatalf("Poly-Schedule reduction %.2f too small", 1-poly/noOpt)
+	}
+}
+
+func TestFig21aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ResNet series in short mode")
+	}
+	tab, err := Run("fig21a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pipeline speedup grows with depth; duplication speedup shrinks.
+	first, last := tab.Rows[0], tab.Rows[len(tab.Rows)-1]
+	if !(first.Values[0] < last.Values[0]) {
+		t.Errorf("pipeline speedup should grow with depth: %v → %v", first.Values[0], last.Values[0])
+	}
+	if !(first.Values[1] > last.Values[1]) {
+		t.Errorf("duplication speedup should shrink with depth: %v → %v", first.Values[1], last.Values[1])
+	}
+	// P&D on ResNet18 is the paper's headline 123×; demand at least 50×.
+	if first.Values[2] < 50 {
+		t.Errorf("ResNet18 P&D speedup = %v, want ≫1 (paper 123×)", first.Values[2])
+	}
+	// P&D dominates both single techniques everywhere.
+	for _, r := range tab.Rows {
+		if r.Values[2] < r.Values[0] || r.Values[2] < r.Values[1] {
+			t.Errorf("%s: P&D %v below a single technique (%v, %v)", r.Label, r.Values[2], r.Values[0], r.Values[1])
+		}
+	}
+}
+
+func TestFig21bdShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ResNet series in short mode")
+	}
+	b, err := Run("fig21b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range b.Rows {
+		if r.Values[0] < 1 {
+			t.Errorf("fig21b %s: MVM duplication slowed things down (%v)", r.Label, r.Values[0])
+		}
+	}
+	d, err := Run("fig21d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range d.Rows {
+		cg, pd := r.Values[0], r.Values[2]
+		if cg < 2 {
+			t.Errorf("fig21d %s: CG should raise peak power clearly, got %v", r.Label, cg)
+		}
+		if pd > cg/2 {
+			t.Errorf("fig21d %s: stagger should cut peak power at least 2× below CG (%v vs %v)", r.Label, pd, cg)
+		}
+	}
+}
+
+func TestFig20bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("VGG16 on PUMA in short mode")
+	}
+	tab, err := Run("fig20b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows[1].Values[0] > 0.5 {
+		t.Fatalf("peak power reduction too small: %v (paper 0.25)", tab.Rows[1].Values[0])
+	}
+	// The 10/83/7 decomposition.
+	if xb := tab.Rows[2].Values[0]; xb < 0.8 || xb > 0.86 {
+		t.Fatalf("crossbar power share = %v, want ≈0.83", xb)
+	}
+}
+
+func TestFig20aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("VGG16 on Jia in short mode")
+	}
+	tab, err := Run("fig20a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, pd := tab.Rows[1].Values[0], tab.Rows[2].Values[0]
+	if pipe <= 1 {
+		t.Fatalf("pipeline speedup = %v, want >1", pipe)
+	}
+	if pd <= pipe {
+		t.Fatalf("P&D (%v) must beat pipeline alone (%v)", pd, pipe)
+	}
+}
+
+func TestFig22aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ViT sweeps in short mode")
+	}
+	tab, err := Run("fig22a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Speedup grows with core count (allowing saturation at the top end).
+	first := tab.Rows[0].Values[0]
+	last := tab.Rows[len(tab.Rows)-1].Values[0]
+	if !(last > first*1.5) {
+		t.Fatalf("core sweep flat: %v → %v", first, last)
+	}
+}

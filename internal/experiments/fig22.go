@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cimmlc/internal/arch"
+	"cimmlc/internal/baseline"
+	"cimmlc/internal/core"
+	"cimmlc/internal/models"
+)
+
+func init() {
+	register("fig22a", Fig22a)
+	register("fig22b", Fig22b)
+	register("fig22c", Fig22c)
+	register("fig22d", Fig22d)
+}
+
+// fig22Arch returns the §4.4 baseline: Table 3 with 128×256 crossbars.
+func fig22Arch() *arch.Arch {
+	a := arch.ISAACBaseline()
+	a.XB.Cols = 256
+	return a
+}
+
+// vitSweep compiles ViT-Base at the three optimization levels against the
+// given architecture and returns speedups over the unoptimized schedule.
+func vitSweep(a *arch.Arch) ([]float64, error) {
+	g := models.ViTBase()
+	no, err := baseline.NoOpt(g, a)
+	if err != nil {
+		return nil, err
+	}
+	rno, err := simulate(no)
+	if err != nil {
+		return nil, err
+	}
+	cg, _, err := compileCycles(g, a, core.Options{MaxLevel: arch.CM})
+	if err != nil {
+		return nil, err
+	}
+	mvm, _, err := compileCycles(g, a, core.Options{MaxLevel: arch.XBM})
+	if err != nil {
+		return nil, err
+	}
+	full, _, err := compileCycles(g, a, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return []float64{rno.Cycles / cg, rno.Cycles / mvm, rno.Cycles / full}, nil
+}
+
+var fig22Columns = []string{"CG-Grained", "CG+MVM-Grained", "CG+MVM+VVM-Grained"}
+
+// Fig22a reproduces Figure 22(a): ViT speedup versus chip core count. The
+// paper reports the CG-grained speedup growing ≈15×→30× from 256 to 1024
+// cores, MVM adding ≈1.1× and VVM ≈1.2× more.
+func Fig22a() (*Table, error) {
+	t := &Table{
+		ID:      "fig22a",
+		Title:   "ViT speedup vs core count (Table-3 baseline, 128×256 crossbars)",
+		Columns: fig22Columns,
+		Notes:   []string{"paper: CG 15→30× as cores grow 256→1024; +MVM ≈1.1×, +VVM ≈1.2×"},
+	}
+	for _, cores := range []int{256, 512, 768, 1024} {
+		a := fig22Arch()
+		a.Chip.CoreRows = cores / 32
+		a.Chip.CoreCols = 32
+		vals, err := vitSweep(a)
+		if err != nil {
+			return nil, fmt.Errorf("fig22a cores=%d: %w", cores, err)
+		}
+		t.Rows = append(t.Rows, Row{fmt.Sprintf("%d cores", cores), vals})
+	}
+	return t, nil
+}
+
+// Fig22b reproduces Figure 22(b): ViT speedup versus crossbars per core
+// (8, 12, 16, 20); speedup grows with the crossbar count.
+func Fig22b() (*Table, error) {
+	t := &Table{
+		ID:      "fig22b",
+		Title:   "ViT speedup vs crossbars per core",
+		Columns: fig22Columns,
+		Notes:   []string{"paper: speedup grows with the crossbar count, mirroring the core sweep"},
+	}
+	for _, xbs := range []int{8, 12, 16, 20} {
+		a := fig22Arch()
+		a.Core.XBRows = 1
+		a.Core.XBCols = xbs
+		vals, err := vitSweep(a)
+		if err != nil {
+			return nil, fmt.Errorf("fig22b xbs=%d: %w", xbs, err)
+		}
+		t.Rows = append(t.Rows, Row{fmt.Sprintf("%d crossbars", xbs), vals})
+	}
+	return t, nil
+}
+
+// Fig22c reproduces Figure 22(c): ViT speedup versus crossbar shape at a
+// constant 32768 cells (64×512 … 512×64). The paper sees CG gains rise with
+// row count until 512 rows, where ViT's 768-row matrices force two vertical
+// crossbars and extra segmentation drops the speedup.
+func Fig22c() (*Table, error) {
+	t := &Table{
+		ID:      "fig22c",
+		Title:   "ViT speedup vs crossbar size (constant 32k cells)",
+		Columns: fig22Columns,
+		Notes:   []string{"paper: VVM gains grow as columns shrink; 512-row crossbars hurt (768-row matrices)"},
+	}
+	for _, shape := range [][2]int{{64, 512}, {128, 256}, {256, 128}, {512, 64}} {
+		a := fig22Arch()
+		a.XB.Rows = shape[0]
+		a.XB.Cols = shape[1]
+		if a.XB.ParallelRow > a.XB.Rows {
+			a.XB.ParallelRow = a.XB.Rows
+		}
+		vals, err := vitSweep(a)
+		if err != nil {
+			return nil, fmt.Errorf("fig22c %dx%d: %w", shape[0], shape[1], err)
+		}
+		t.Rows = append(t.Rows, Row{fmt.Sprintf("%d×%d", shape[0], shape[1]), vals})
+	}
+	return t, nil
+}
+
+// Fig22d reproduces Figure 22(d): ViT speedup versus parallel rows (64, 32,
+// 16, 8). The paper reports VVM-grained remapping rescuing ≈20% when only 8
+// rows can activate at once.
+func Fig22d() (*Table, error) {
+	t := &Table{
+		ID:      "fig22d",
+		Title:   "ViT speedup vs parallel rows per crossbar",
+		Columns: fig22Columns,
+		Notes:   []string{"paper: at 8 parallel rows the VVM remap recovers ≈20% over CG+MVM"},
+	}
+	for _, pr := range []int{64, 32, 16, 8} {
+		a := fig22Arch()
+		a.XB.ParallelRow = pr
+		vals, err := vitSweep(a)
+		if err != nil {
+			return nil, fmt.Errorf("fig22d pr=%d: %w", pr, err)
+		}
+		t.Rows = append(t.Rows, Row{fmt.Sprintf("%d rows", pr), vals})
+	}
+	return t, nil
+}

@@ -1,0 +1,391 @@
+package funcsim
+
+import (
+	"fmt"
+
+	"cimmlc/internal/graph"
+	"cimmlc/internal/mop"
+	"cimmlc/internal/tensor"
+)
+
+// Run executes the flow's init and compute sections against the machine.
+func (m *Machine) Run(flow *mop.Flow) error {
+	if err := flow.Validate(); err != nil {
+		return fmt.Errorf("funcsim: %w", err)
+	}
+	for i, op := range flow.Init {
+		if err := m.exec(op); err != nil {
+			return fmt.Errorf("funcsim: init op %d (%s): %w", i, op, err)
+		}
+	}
+	for i, op := range flow.Body {
+		if err := m.exec(op); err != nil {
+			return fmt.Errorf("funcsim: body op %d (%s): %w", i, op, err)
+		}
+	}
+	return nil
+}
+
+func (m *Machine) exec(op mop.Op) error {
+	switch o := op.(type) {
+	case mop.Parallel:
+		for _, inner := range o.Body {
+			if err := m.exec(inner); err != nil {
+				return err
+			}
+		}
+		return nil
+	case mop.WriteXB:
+		return m.writeTile(o.XB, 0, o.Node, o.CellRowOff, o.CellColOff, o.Rows, o.Cols)
+	case mop.WriteRow:
+		return m.writeTile(o.XB, o.Row, o.Node, o.CellRowOff, o.CellColOff, o.NumRows, o.Cols)
+	case mop.ReadXB:
+		p := &m.prog[o.XB]
+		if p.node < 0 {
+			return fmt.Errorf("readxb on unprogrammed crossbar %d", o.XB)
+		}
+		return m.readRows(o.XB, 0, p.rows, o.Src, o.Dst, o.DstStride, o.Acc)
+	case mop.ReadRow:
+		if o.NumRows > m.a.XB.ParallelRow {
+			return fmt.Errorf("readrow activates %d rows but parallel_row is %d", o.NumRows, m.a.XB.ParallelRow)
+		}
+		return m.readRows(o.XB, o.Row, o.NumRows, o.Src, o.Dst, o.DstStride, o.Acc)
+	case mop.ReadCore:
+		return m.readCore(o)
+	case mop.Mov:
+		return m.mov(o)
+	case mop.MovWindow:
+		return m.movWindow(o)
+	case mop.Dcom:
+		return m.dcom(o)
+	}
+	return fmt.Errorf("unknown op type %T", op)
+}
+
+// xbProg extension fields live here to keep the struct in one place.
+func (m *Machine) writeTile(xb, rowStart, node, cellRowOff, cellColOff, rows, cols int) error {
+	if xb < 0 || xb >= len(m.cells) {
+		return fmt.Errorf("crossbar %d out of range", xb)
+	}
+	if rowStart+rows > m.a.XB.Rows || cols > m.a.XB.Cols {
+		return fmt.Errorf("tile %dx%d at row %d exceeds crossbar %dx%d", rows, cols, rowStart, m.a.XB.Rows, m.a.XB.Cols)
+	}
+	qw, ok := m.qweights[node]
+	if !ok {
+		return fmt.Errorf("no quantized weights for node %d", node)
+	}
+	dims := m.wDims[node]
+	s := m.a.CellsPerWeight()
+	if cellColOff%s != 0 {
+		return fmt.Errorf("cell column offset %d not aligned to %d cells per weight", cellColOff, s)
+	}
+	p := &m.prog[xb]
+	if p.node != node || p.rowDelta != cellRowOff-rowStart || p.cellColOff != cellColOff {
+		// Reprogramming with a new tile: clear the array.
+		m.cells[xb] = make([]uint8, m.a.XB.Rows*m.a.XB.Cols)
+		p.node = node
+		p.rowDelta = cellRowOff - rowStart
+		p.cellColOff = cellColOff
+		p.rows = 0
+		p.cols = cols
+	}
+	if rowStart+rows > p.rows {
+		p.rows = rowStart + rows
+	}
+	if cols > p.cols {
+		p.cols = cols
+	}
+	if m.cells[xb] == nil {
+		m.cells[xb] = make([]uint8, m.a.XB.Rows*m.a.XB.Cols)
+	}
+	for i := 0; i < rows; i++ {
+		matRow := cellRowOff + i
+		if matRow >= dims[0] {
+			return fmt.Errorf("cell row %d exceeds weight matrix rows %d", matRow, dims[0])
+		}
+		for l := 0; l < cols; l++ {
+			cellCol := cellColOff + l
+			wCol := cellCol / s
+			slice := cellCol % s
+			if wCol >= dims[1] {
+				return fmt.Errorf("cell column %d exceeds weight matrix cols %d", cellCol, dims[1])
+			}
+			v := qw[matRow*dims[1]+wCol]
+			slices := tensor.BitSlice(v, m.a.WeightBits, m.a.XB.CellBits)
+			m.cells[xb][(rowStart+i)*m.a.XB.Cols+l] = uint8(slices[slice])
+		}
+	}
+	return nil
+}
+
+// readRows performs the analog MVM of wordlines [row, row+nrows) of one
+// crossbar: inputs stream from Src, each stored weight is reconstructed from
+// its cell slices, and per-weight-column sums are written (or accumulated)
+// at Dst with the given stride.
+func (m *Machine) readRows(xb, row, nrows int, src, dst, stride int64, acc bool) error {
+	if xb < 0 || xb >= len(m.cells) || m.cells[xb] == nil {
+		return fmt.Errorf("crossbar %d not programmed", xb)
+	}
+	p := &m.prog[xb]
+	if row+nrows > p.rows {
+		return fmt.Errorf("read rows [%d,%d) exceed programmed rows %d", row, row+nrows, p.rows)
+	}
+	m.touchSrc(src)
+	s := m.a.CellsPerWeight()
+	nWCols := p.cols / s
+	bits, cb := m.a.WeightBits, m.a.XB.CellBits
+	cols := m.a.XB.Cols
+	slices := make([]uint32, s)
+	for j := 0; j < nWCols; j++ {
+		var sum int64
+		for i := 0; i < nrows; i++ {
+			a := m.mem[src+int64(i)]
+			if a == 0 {
+				continue
+			}
+			base := (row+i)*cols + j*s
+			for k := 0; k < s; k++ {
+				slices[k] = uint32(m.cells[xb][base+k])
+			}
+			w := tensor.FromBitSlices(slices, bits, cb)
+			sum += a * int64(w)
+		}
+		addr := dst + int64(j)*stride
+		if acc {
+			m.mem[addr] += sum
+		} else {
+			m.mem[addr] = sum
+		}
+	}
+	if node := m.nodeAt(dst); node >= 0 {
+		m.markCIMOutput(node)
+	}
+	return nil
+}
+
+// readCore executes a whole operator window range on a core (MOP_CM): the
+// core's internal crossbars perform the same quantized arithmetic, so the
+// simulator computes the integer MVMs directly from the node's quantized
+// weight matrix.
+func (m *Machine) readCore(o mop.ReadCore) error {
+	n := m.g.MustNode(o.Node)
+	qw, ok := m.qweights[o.Node]
+	if !ok {
+		return fmt.Errorf("no quantized weights for node %d", o.Node)
+	}
+	dims := m.wDims[o.Node]
+	m.touchSrc(o.Src)
+	rows, cols := dims[0], dims[1]
+	vec := make([]int64, rows)
+	for w := o.WinStart; w < o.WinStart+o.WinCount; w++ {
+		if err := m.gatherWindow(n, w, o.Src, vec); err != nil {
+			return err
+		}
+		for j := 0; j < cols; j++ {
+			var sum int64
+			for i := 0; i < rows; i++ {
+				if vec[i] != 0 {
+					sum += vec[i] * int64(qw[i*cols+j])
+				}
+			}
+			m.mem[m.cimDst(n, o.Dst, w, j)] = sum
+		}
+	}
+	m.markCIMOutput(o.Node)
+	return nil
+}
+
+// cimDst returns the destination address of output column j of window w.
+func (m *Machine) cimDst(n *graph.Node, base, w int64, j int) int64 {
+	switch {
+	case n.Op == graph.OpConv:
+		hw := int64(n.OutShape[1]) * int64(n.OutShape[2])
+		return base + int64(j)*hw + w
+	case len(n.OutShape) == 2:
+		return base + w*int64(n.OutShape[1]) + int64(j)
+	default:
+		return base + int64(j)
+	}
+}
+
+// gatherWindow fills vec with window w of node n's input, in weight-matrix
+// row order: (ic, ky, kx) for convolutions from an NCHW region, a contiguous
+// token row for matrix Dense, the whole vector for vector Dense.
+func (m *Machine) gatherWindow(n *graph.Node, w, srcBase int64, vec []int64) error {
+	switch n.Op {
+	case graph.OpConv:
+		in := m.g.MustNode(n.Inputs[0]).OutShape
+		inC, h, wd := in[0], in[1], in[2]
+		outW := n.OutShape[2]
+		oy := int(w) / outW
+		ox := int(w) % outW
+		kH, kW := n.Attr.KernelH, n.Attr.KernelW
+		st, pad := n.Attr.Stride, n.Attr.Padding
+		idx := 0
+		for ic := 0; ic < inC; ic++ {
+			for ky := 0; ky < kH; ky++ {
+				iy := oy*st + ky - pad
+				for kx := 0; kx < kW; kx++ {
+					ix := ox*st + kx - pad
+					if iy < 0 || iy >= h || ix < 0 || ix >= wd {
+						vec[idx] = 0
+					} else {
+						vec[idx] = m.mem[srcBase+int64((ic*h+iy)*wd+ix)]
+					}
+					idx++
+				}
+			}
+		}
+		return nil
+	case graph.OpDense:
+		rows := len(vec)
+		if len(n.OutShape) == 2 {
+			copy(vec, m.mem[srcBase+w*int64(rows):srcBase+(w+1)*int64(rows)])
+		} else {
+			copy(vec, m.mem[srcBase:srcBase+int64(rows)])
+		}
+		return nil
+	}
+	return fmt.Errorf("gather for unsupported op %s", n.Op)
+}
+
+func (m *Machine) mov(o mop.Mov) error {
+	m.touchSrc(o.Src)
+	copy(m.mem[o.Dst:o.Dst+o.Len], m.mem[o.Src:o.Src+o.Len])
+	// Whole-region copies propagate the source's numeric domain (Flatten,
+	// Identity).
+	dstNode := m.nodeAt(o.Dst)
+	if dstNode >= 0 && o.Dst == m.lay.Base[dstNode] && o.Len == m.lay.Size[dstNode] {
+		if srcNode := m.nodeAt(o.Src); srcNode >= 0 {
+			m.regionScale[dstNode] = m.regionScale[srcNode]
+			m.regionRaw[dstNode] = false
+		}
+	}
+	return nil
+}
+
+func (m *Machine) movWindow(o mop.MovWindow) error {
+	n := m.g.MustNode(o.Node)
+	if n.Op != graph.OpConv {
+		return fmt.Errorf("mov_window on non-conv node %d", o.Node)
+	}
+	m.touchSrc(o.SrcBase)
+	rows := n.WeightShape[1] * n.WeightShape[2] * n.WeightShape[3]
+	vec := make([]int64, rows)
+	if err := m.gatherWindow(n, o.Window, o.SrcBase, vec); err != nil {
+		return err
+	}
+	copy(m.mem[o.Dst:o.Dst+int64(rows)], vec)
+	return nil
+}
+
+// dcom executes a digital-compute operator: dequantize the inputs, run the
+// float reference kernel, requantize into the node's activation domain.
+func (m *Machine) dcom(o mop.Dcom) error {
+	n := m.g.MustNode(o.Node)
+	ins := make([]*tensor.Tensor, len(n.Inputs))
+	for i, in := range n.Inputs {
+		m.settle(in)
+		ins[i] = m.regionTensor(in)
+	}
+	out, err := digitalKernel(n, ins)
+	if err != nil {
+		return err
+	}
+	q := m.actScale[o.Node]
+	qv, err := tensor.Quantize(out, q)
+	if err != nil {
+		return err
+	}
+	if int64(len(qv)) != o.Len {
+		return fmt.Errorf("dcom %s output length %d does not match len %d", o.Fn, len(qv), o.Len)
+	}
+	for i, v := range qv {
+		m.mem[o.Dst+int64(i)] = int64(v)
+	}
+	m.regionScale[o.Node] = float64(q.Scale)
+	m.regionRaw[o.Node] = false
+	return nil
+}
+
+// regionTensor dequantizes a node's (settled) region into a float tensor.
+func (m *Machine) regionTensor(node int) *tensor.Tensor {
+	n := m.g.MustNode(node)
+	base, size := m.lay.Base[node], m.lay.Size[node]
+	t := tensor.New(n.OutShape...)
+	scale := m.regionScale[node]
+	if scale == 0 {
+		scale = float64(m.actScale[node].Scale)
+	}
+	for i := int64(0); i < size; i++ {
+		t.Data()[i] = float32(float64(m.mem[base+i]) * scale)
+	}
+	return t
+}
+
+// digitalKernel runs the reference float kernel for a digital node.
+func digitalKernel(n *graph.Node, ins []*tensor.Tensor) (*tensor.Tensor, error) {
+	switch n.Op {
+	case graph.OpReLU:
+		return tensor.ReLU(ins[0]), nil
+	case graph.OpGELU:
+		return tensor.GELU(ins[0]), nil
+	case graph.OpAdd:
+		return tensor.Add(ins[0], ins[1])
+	case graph.OpMaxPool:
+		return tensor.MaxPool2D(ins[0], n.Attr.KernelH, n.Attr.Stride)
+	case graph.OpAvgPool:
+		return tensor.AvgPool2D(ins[0], n.Attr.KernelH, n.Attr.Stride)
+	case graph.OpGlobalAvgPool:
+		return tensor.GlobalAvgPool(ins[0])
+	case graph.OpSoftmax:
+		return tensor.Softmax(ins[0]), nil
+	case graph.OpLayerNorm:
+		return tensor.LayerNorm(ins[0], nil, nil, n.Attr.Eps)
+	case graph.OpMatMul:
+		return tensor.MatMul(ins[0], ins[1])
+	case graph.OpTranspose:
+		return tensor.Transpose2D(ins[0])
+	case graph.OpConcat:
+		return concatKernel(ins, n.Attr.Axis)
+	}
+	return nil, fmt.Errorf("no digital kernel for %s", n.Op)
+}
+
+func concatKernel(ins []*tensor.Tensor, axis int) (*tensor.Tensor, error) {
+	// Reuse the reference executor's concat by building a throwaway graph is
+	// overkill; re-implement the block copy here.
+	base := ins[0].Shape()
+	outShape := make([]int, len(base))
+	copy(outShape, base)
+	outShape[axis] = 0
+	for _, t := range ins {
+		outShape[axis] += t.Shape()[axis]
+	}
+	out := tensor.New(outShape...)
+	outer, inner := 1, 1
+	for d := 0; d < axis; d++ {
+		outer *= base[d]
+	}
+	for d := axis + 1; d < len(base); d++ {
+		inner *= base[d]
+	}
+	pos := 0
+	for _, t := range ins {
+		ad := t.Shape()[axis]
+		for o := 0; o < outer; o++ {
+			dstOff := (o*outShape[axis] + pos) * inner
+			srcOff := o * ad * inner
+			copy(out.Data()[dstOff:dstOff+ad*inner], t.Data()[srcOff:srcOff+ad*inner])
+		}
+		pos += ad
+	}
+	return out, nil
+}
+
+// SettleAll requantizes every raw region (used before extracting outputs).
+func (m *Machine) SettleAll() {
+	for _, n := range m.g.Nodes {
+		m.settle(n.ID)
+	}
+}

@@ -1,0 +1,243 @@
+// Package funcsim is the functional simulator of §4.1: it executes a
+// compiled meta-operator flow against simulated crossbar state and verifies
+// that the result matches the network's reference execution.
+//
+// The hardware model is faithful where it matters for compilation
+// correctness: weights are quantized to the architecture's weight precision,
+// bit-sliced into cells of the crossbar's cell precision (Figure 7's B→XBC
+// binding) by the write meta-operators, and read meta-operators reconstruct
+// each weight from the stored cell slices before the multiply-accumulate —
+// so any mis-programming, mis-placement or mis-gathering produces wrong
+// numbers. Activations live in a flat buffer memory laid out by
+// internal/codegen; CIM outputs are raw integer accumulators that the
+// digital periphery requantizes to 8-bit activations when first consumed
+// (standard post-training-quantization inference).
+//
+// QuantReference executes the same quantized semantics without crossbars or
+// flows; a correct compiler + simulator pair must match it bit-exactly.
+package funcsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cimmlc/internal/arch"
+	"cimmlc/internal/codegen"
+	"cimmlc/internal/graph"
+	"cimmlc/internal/tensor"
+)
+
+// Machine is the simulated accelerator state for one flow execution.
+type Machine struct {
+	g   *graph.Graph
+	a   *arch.Arch
+	lay *codegen.Layout
+
+	mem []int64
+
+	// Crossbar cell arrays, indexed by chip-global crossbar ID.
+	cells [][]uint8 // rows*cols cell values
+	prog  []xbProg  // what each crossbar currently holds
+
+	// Quantization state.
+	wScale   map[int]tensor.QuantParams // CIM node → weight quantizer
+	actScale map[int]tensor.QuantParams // node → output activation quantizer
+	qweights map[int][]int32            // CIM node → quantized weight matrix (row-major rows×cols)
+	wDims    map[int][2]int             // CIM node → (rows, cols)
+
+	// Region bookkeeping: scale of the ints currently in each node's
+	// region, and whether they are raw CIM accumulators awaiting
+	// requantization.
+	regionScale map[int]float64
+	regionRaw   map[int]bool
+
+	// Sorted region index for address→node resolution.
+	regionBases []int64
+	regionNodes []int
+}
+
+// xbProg records the tile programmed into one crossbar: which node's cell
+// matrix it holds, the offset between wordline index and cell-matrix row
+// (rowDelta = cellRow − wordline), the first cell column, and the extent
+// programmed so far.
+type xbProg struct {
+	node       int // -1 when empty
+	rowDelta   int
+	cellColOff int
+	rows, cols int
+}
+
+// New prepares a machine: quantizes weights, calibrates activation scales by
+// running the float reference on the given inputs, and zeroes memory.
+func New(g *graph.Graph, a *arch.Arch, lay *codegen.Layout, weights graph.Weights, inputs map[int]*tensor.Tensor) (*Machine, error) {
+	if err := g.InferShapes(); err != nil {
+		return nil, err
+	}
+	ref, err := graph.Execute(g, weights, inputs)
+	if err != nil {
+		return nil, fmt.Errorf("funcsim: reference execution for calibration: %w", err)
+	}
+	m := &Machine{
+		g: g, a: a, lay: lay,
+		mem:         make([]int64, lay.Total),
+		cells:       make([][]uint8, a.TotalCrossbars()),
+		prog:        make([]xbProg, a.TotalCrossbars()),
+		wScale:      map[int]tensor.QuantParams{},
+		actScale:    map[int]tensor.QuantParams{},
+		qweights:    map[int][]int32{},
+		wDims:       map[int][2]int{},
+		regionScale: map[int]float64{},
+		regionRaw:   map[int]bool{},
+	}
+	for i := range m.prog {
+		m.prog[i].node = -1
+	}
+	for _, n := range g.Nodes {
+		q := tensor.CalibrateQuant(ref[n.ID], a.ActBits)
+		m.actScale[n.ID] = q
+	}
+	for id, w := range weights {
+		mat, err := weightMatrix(g.MustNode(id), w)
+		if err != nil {
+			return nil, err
+		}
+		q := tensor.CalibrateQuant(mat, a.WeightBits)
+		qv, err := tensor.Quantize(mat, q)
+		if err != nil {
+			return nil, err
+		}
+		m.wScale[id] = q
+		m.qweights[id] = qv
+		m.wDims[id] = [2]int{mat.Dim(0), mat.Dim(1)}
+	}
+	// Load quantized inputs.
+	for id, t := range inputs {
+		q := m.actScale[id]
+		qv, err := tensor.Quantize(t, q)
+		if err != nil {
+			return nil, err
+		}
+		base := lay.Base[id]
+		for i, v := range qv {
+			m.mem[base+int64(i)] = int64(v)
+		}
+		m.regionScale[id] = float64(q.Scale)
+		m.regionRaw[id] = false
+	}
+	// Region index sorted by base address.
+	for id := range lay.Base {
+		m.regionBases = append(m.regionBases, lay.Base[id])
+		m.regionNodes = append(m.regionNodes, id)
+	}
+	sort.Sort(byBase{m.regionBases, m.regionNodes})
+	return m, nil
+}
+
+type byBase struct {
+	bases []int64
+	nodes []int
+}
+
+func (b byBase) Len() int           { return len(b.bases) }
+func (b byBase) Less(i, j int) bool { return b.bases[i] < b.bases[j] }
+func (b byBase) Swap(i, j int) {
+	b.bases[i], b.bases[j] = b.bases[j], b.bases[i]
+	b.nodes[i], b.nodes[j] = b.nodes[j], b.nodes[i]
+}
+
+// weightMatrix lowers a node's weights to the crossbar matrix form: conv
+// [outC,inC,kH,kW] → [inC·kH·kW, outC]; dense already [in,out].
+func weightMatrix(n *graph.Node, w *tensor.Tensor) (*tensor.Tensor, error) {
+	switch n.Op {
+	case graph.OpConv:
+		return tensor.WeightsAsMatrix(w)
+	case graph.OpDense:
+		return w, nil
+	}
+	return nil, fmt.Errorf("funcsim: node %d (%s) has no weight matrix", n.ID, n.Op)
+}
+
+// nodeAt resolves a buffer address to the node whose region contains it
+// (scratch addresses resolve to no node and return -1).
+func (m *Machine) nodeAt(addr int64) int {
+	i := sort.Search(len(m.regionBases), func(i int) bool { return m.regionBases[i] > addr })
+	if i == 0 {
+		return -1
+	}
+	id := m.regionNodes[i-1]
+	if addr < m.lay.Base[id]+m.lay.Size[id] {
+		return id
+	}
+	return -1
+}
+
+// settle requantizes a raw CIM accumulator region into the node's 8-bit
+// activation domain (the shift-add + requantization periphery). It runs
+// lazily on first consumption.
+func (m *Machine) settle(node int) {
+	if node < 0 || !m.regionRaw[node] {
+		return
+	}
+	raw := m.regionScale[node]
+	q := m.actScale[node]
+	base, size := m.lay.Base[node], m.lay.Size[node]
+	maxQ := int64(q.MaxQ())
+	for i := base; i < base+size; i++ {
+		f := float64(m.mem[i]) * raw
+		v := int64(math.RoundToEven(f / float64(q.Scale)))
+		if v > maxQ {
+			v = maxQ
+		}
+		if v < -maxQ {
+			v = -maxQ
+		}
+		m.mem[i] = v
+	}
+	m.regionScale[node] = float64(q.Scale)
+	m.regionRaw[node] = false
+}
+
+// touchSrc settles whatever region the source address lives in.
+func (m *Machine) touchSrc(addr int64) {
+	m.settle(m.nodeAt(addr))
+}
+
+// markCIMOutput records that node's region now holds raw accumulators whose
+// unit value is wScale·inScale.
+func (m *Machine) markCIMOutput(node int) {
+	n := m.g.MustNode(node)
+	in := n.Inputs[0]
+	inScale := m.regionScale[in]
+	if inScale == 0 {
+		inScale = float64(m.actScale[in].Scale)
+	}
+	m.regionScale[node] = float64(m.wScale[node].Scale) * inScale
+	m.regionRaw[node] = true
+}
+
+// Tensors returns the dequantized float tensor of every node's region.
+func (m *Machine) Tensors() map[int]*tensor.Tensor {
+	out := map[int]*tensor.Tensor{}
+	for _, n := range m.g.Nodes {
+		base, size := m.lay.Base[n.ID], m.lay.Size[n.ID]
+		t := tensor.New(n.OutShape...)
+		scale := m.regionScale[n.ID]
+		if scale == 0 {
+			scale = float64(m.actScale[n.ID].Scale)
+		}
+		for i := int64(0); i < size; i++ {
+			t.Data()[i] = float32(float64(m.mem[base+i]) * scale)
+		}
+		out[n.ID] = t
+	}
+	return out
+}
+
+// RawRegion exposes a copy of a node's integer region (tests).
+func (m *Machine) RawRegion(node int) []int64 {
+	base, size := m.lay.Base[node], m.lay.Size[node]
+	out := make([]int64, size)
+	copy(out, m.mem[base:base+size])
+	return out
+}

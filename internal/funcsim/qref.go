@@ -1,0 +1,166 @@
+package funcsim
+
+import (
+	"fmt"
+
+	"cimmlc/internal/arch"
+	"cimmlc/internal/codegen"
+	"cimmlc/internal/graph"
+	"cimmlc/internal/mop"
+	"cimmlc/internal/tensor"
+)
+
+// QuantReference executes the network under the same quantization semantics
+// as the flow simulator — integer MVMs over the quantized weight matrices,
+// float digital kernels requantized to each node's calibrated activation
+// scale — but without crossbars, placement or meta-operators. A correct
+// compiler must reproduce it bit-exactly, which Verify checks.
+func QuantReference(g *graph.Graph, a *arch.Arch, weights graph.Weights, inputs map[int]*tensor.Tensor) (map[int]*tensor.Tensor, error) {
+	lay := referenceLayout(g)
+	m, err := New(g, a, lay, weights, inputs)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range g.Nodes {
+		switch {
+		case n.Op == graph.OpInput:
+			continue
+		case n.Op.CIMSupported():
+			win := n.MVMCount()
+			err = m.readCore(mop.ReadCore{
+				OpType: string(n.Op), Node: n.ID, Core: 0,
+				Src: lay.Base[n.Inputs[0]], Dst: lay.Base[n.ID],
+				WinStart: 0, WinCount: win,
+			})
+		case n.Op == graph.OpFlatten || n.Op == graph.OpIdentity:
+			err = m.mov(mop.Mov{Src: lay.Base[n.Inputs[0]], Dst: lay.Base[n.ID], Len: lay.Size[n.ID]})
+		default:
+			fn, ok := dcomFnFor(n.Op)
+			if !ok {
+				return nil, fmt.Errorf("funcsim: no reference lowering for %s", n.Op)
+			}
+			srcs := make([]int64, len(n.Inputs))
+			for i, in := range n.Inputs {
+				srcs[i] = lay.Base[in]
+			}
+			err = m.dcom(mop.Dcom{Fn: fn, Node: n.ID, Srcs: srcs, Dst: lay.Base[n.ID], Len: lay.Size[n.ID]})
+		}
+		if err != nil {
+			return nil, fmt.Errorf("funcsim: reference node %d (%s): %w", n.ID, n.Op, err)
+		}
+	}
+	m.SettleAll()
+	return m.Tensors(), nil
+}
+
+// referenceLayout allocates one region per node (no scratch space).
+func referenceLayout(g *graph.Graph) *codegen.Layout {
+	lay := &codegen.Layout{Base: map[int]int64{}, Size: map[int]int64{}, Scratch: map[int]int64{}}
+	next := int64(0)
+	for _, n := range g.Nodes {
+		size := graph.NumElements(n.OutShape)
+		lay.Base[n.ID] = next
+		lay.Size[n.ID] = size
+		next += size
+	}
+	lay.Total = next
+	return lay
+}
+
+func dcomFnFor(op graph.Op) (mop.DcomFn, bool) {
+	switch op {
+	case graph.OpReLU:
+		return mop.FnReLU, true
+	case graph.OpGELU:
+		return mop.FnGELU, true
+	case graph.OpAdd:
+		return mop.FnAdd, true
+	case graph.OpMaxPool:
+		return mop.FnMaxPool, true
+	case graph.OpAvgPool:
+		return mop.FnAvgPool, true
+	case graph.OpGlobalAvgPool:
+		return mop.FnGAP, true
+	case graph.OpSoftmax:
+		return mop.FnSoftmax, true
+	case graph.OpLayerNorm:
+		return mop.FnLayerNorm, true
+	case graph.OpMatMul:
+		return mop.FnMatMul, true
+	case graph.OpTranspose:
+		return mop.FnTranspose, true
+	case graph.OpConcat:
+		return mop.FnConcat, true
+	}
+	return "", false
+}
+
+// RunFlow executes a generated flow on a fresh machine and returns the
+// settled per-node tensors.
+func RunFlow(g *graph.Graph, a *arch.Arch, res *codegen.Result, weights graph.Weights, inputs map[int]*tensor.Tensor) (map[int]*tensor.Tensor, error) {
+	if res.Truncated {
+		return nil, fmt.Errorf("funcsim: flow was truncated by codegen (MaxWindowsPerOp); not executable")
+	}
+	m, err := New(g, a, res.Layout, weights, inputs)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Run(res.Flow); err != nil {
+		return nil, err
+	}
+	m.SettleAll()
+	return m.Tensors(), nil
+}
+
+// Verify runs the flow, the quantized reference and the float reference, and
+// checks (a) flow == quantized reference bit-exactly and (b) flow ≈ float
+// reference within floatTol of each node output's max magnitude.
+func Verify(g *graph.Graph, a *arch.Arch, res *codegen.Result, weights graph.Weights, inputs map[int]*tensor.Tensor, floatTol float64) error {
+	got, err := RunFlow(g, a, res, weights, inputs)
+	if err != nil {
+		return err
+	}
+	want, err := QuantReference(g, a, weights, inputs)
+	if err != nil {
+		return err
+	}
+	ref, err := graph.Execute(g, weights, inputs)
+	if err != nil {
+		return err
+	}
+	for _, n := range g.Nodes {
+		if n.Op == graph.OpInput {
+			continue
+		}
+		if !tensor.AllClose(got[n.ID], want[n.ID], 0) {
+			d, _ := tensor.MaxAbsDiff(got[n.ID], want[n.ID])
+			return fmt.Errorf("funcsim: node %d (%s %s): flow diverges from quantized reference by %g", n.ID, n.Name, n.Op, d)
+		}
+		scale := maxAbs(ref[n.ID])
+		if scale == 0 {
+			scale = 1
+		}
+		d, err := tensor.MaxAbsDiff(got[n.ID], ref[n.ID])
+		if err != nil {
+			return fmt.Errorf("funcsim: node %d: %w", n.ID, err)
+		}
+		if d > floatTol*scale {
+			return fmt.Errorf("funcsim: node %d (%s %s): quantization error %g exceeds %g of max magnitude %g", n.ID, n.Name, n.Op, d, floatTol, scale)
+		}
+	}
+	return nil
+}
+
+func maxAbs(t *tensor.Tensor) float64 {
+	m := 0.0
+	for _, v := range t.Data() {
+		a := float64(v)
+		if a < 0 {
+			a = -a
+		}
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}

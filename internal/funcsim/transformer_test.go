@@ -1,0 +1,104 @@
+package funcsim
+
+import (
+	"testing"
+
+	"cimmlc/internal/arch"
+	"cimmlc/internal/core"
+	"cimmlc/internal/graph"
+	"cimmlc/internal/tensor"
+)
+
+// Token-matrix Dense layers (the ViT building block) exercise the per-token
+// gather path (plain mov of matrix rows into scratch) and the [T,D] output
+// geometry.
+func TestTokenDenseFlowExact(t *testing.T) {
+	b := graph.NewBuilder("tokens", 6, 32)
+	b.Dense(16).GELU().Dense(8)
+	g := b.MustFinish()
+	a := arch.ISAACBaseline()
+	in := tensor.New(6, 32)
+	in.Rand(51, 1)
+	endToEnd(t, g, a, in, 0.1)
+}
+
+// A single-head attention block end to end: LayerNorm, Q/K/V projections,
+// transpose, dynamic MatMuls, softmax, residual — every digital kernel the
+// transformer path needs, plus CIM Dense layers, in one flow.
+func TestAttentionBlockFlowExact(t *testing.T) {
+	const tokens, dim = 5, 24
+	b := graph.NewBuilder("attn-block", tokens, dim)
+	blockIn := b.Last
+	b.LayerNorm()
+	ln := b.Last
+	b.Last = ln
+	b.Dense(dim)
+	q := b.Last
+	b.Last = ln
+	b.Dense(dim)
+	k := b.Last
+	b.Last = ln
+	b.Dense(dim)
+	v := b.Last
+	b.Last = k
+	b.Transpose()
+	kt := b.Last
+	b.Last = q
+	b.MatMulWith(kt).Softmax().MatMulWith(v).Dense(dim).AddFrom(blockIn)
+	g := b.MustFinish()
+
+	a := arch.ISAACBaseline()
+	in := tensor.New(tokens, dim)
+	in.Rand(52, 1)
+	endToEnd(t, g, a, in, 0.2)
+}
+
+// The WLM flow of a token model on a parallel-row-constrained machine with
+// remapping active: rows split over crossbars must still be bit-exact.
+func TestTokenDenseWLMRemapExact(t *testing.T) {
+	b := graph.NewBuilder("tokens-wlm", 4, 48)
+	b.Dense(12)
+	g := b.MustFinish()
+	a := arch.ISAACBaseline()
+	a.XB.ParallelRow = 8 // 48 rows → 6 row groups; spare crossbars allow remap
+	in := tensor.New(4, 48)
+	in.Rand(53, 1)
+	endToEnd(t, g, a, in, 0.1)
+}
+
+// A strided conv chain through pooling on a 1-bit-cell machine: eight cell
+// slices per weight, non-square feature maps.
+func TestStridedConvOneBitCellsExact(t *testing.T) {
+	b := graph.NewBuilder("strided", 2, 13, 9)
+	b.Conv(5, 3, 2, 1).ReLU().Conv(7, 3, 1, 0).GlobalAvgPool().Dense(3)
+	g := b.MustFinish()
+	a := arch.JainAccelerator()
+	a.Chip.CoreRows, a.Chip.CoreCols = 8, 8 // enough capacity
+	in := tensor.New(2, 13, 9)
+	in.Rand(54, 1)
+	endToEnd(t, g, a, in, 0.15)
+}
+
+// Multi-segment flows reprogram crossbars mid-body; the second segment's
+// results must still be exact.
+func TestSegmentedFlowExact(t *testing.T) {
+	b := graph.NewBuilder("seg", 3, 10, 10)
+	b.Conv(8, 3, 1, 1).ReLU().Conv(8, 3, 1, 1).ReLU().Conv(8, 3, 1, 1)
+	g := b.MustFinish()
+	a := arch.ToyExample()
+	a.XB.Rows = 128 // each conv fits, but not all three at once
+	a.Mode = arch.XBM
+	in := tensor.New(3, 10, 10)
+	in.Rand(55, 1)
+
+	// Confirm segmentation actually happened so the test covers what it
+	// claims to.
+	res, err := core.Compile(g, a, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Schedule.Segments) < 2 {
+		t.Skipf("expected segmentation, got %d segments", len(res.Schedule.Segments))
+	}
+	endToEnd(t, g, a, in, 0.15)
+}

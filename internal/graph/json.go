@@ -1,0 +1,31 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// MarshalJSON is provided by the struct tags; these helpers add validated
+// round-trip entry points so configs and test fixtures share one path.
+
+// Encode serializes the graph to indented JSON.
+func Encode(g *Graph) ([]byte, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: refusing to encode invalid graph: %w", err)
+	}
+	return json.MarshalIndent(g, "", "  ")
+}
+
+// Decode parses a graph from JSON and validates it, then re-runs shape
+// inference so OutShape fields are trustworthy regardless of what the file
+// contained.
+func Decode(data []byte) (*Graph, error) {
+	var g Graph
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("graph: decode: %w", err)
+	}
+	if err := g.InferShapes(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}

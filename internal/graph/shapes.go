@@ -1,0 +1,217 @@
+package graph
+
+import "fmt"
+
+// InferShapes fills every node's OutShape from the input nodes' shapes,
+// walking the graph in topological order. It returns an error on any shape
+// incompatibility. Shapes use the conventions of internal/tensor:
+// feature maps are [C,H,W], token matrices [tokens,features], vectors [n].
+func (g *Graph) InferShapes() error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	for _, n := range g.Nodes {
+		if n.Op == OpInput {
+			if len(n.OutShape) == 0 {
+				return fmt.Errorf("graph %q: input %q has no shape", g.Name, n.Name)
+			}
+			continue
+		}
+		shape, err := g.inferNode(n)
+		if err != nil {
+			return fmt.Errorf("graph %q: node %q (%s): %w", g.Name, n.Name, n.Op, err)
+		}
+		n.OutShape = shape
+	}
+	return nil
+}
+
+func (g *Graph) inferNode(n *Node) ([]int, error) {
+	in := make([][]int, len(n.Inputs))
+	for i, id := range n.Inputs {
+		in[i] = g.Nodes[id].OutShape
+		if len(in[i]) == 0 {
+			return nil, fmt.Errorf("input node %d has no inferred shape", id)
+		}
+	}
+	switch n.Op {
+	case OpConv:
+		return inferConv(in[0], n)
+	case OpDense:
+		return inferDense(in[0], n)
+	case OpMatMul:
+		return inferMatMul(in[0], in[1])
+	case OpReLU, OpGELU, OpSoftmax, OpLayerNorm, OpIdentity:
+		return cloneShape(in[0]), nil
+	case OpMaxPool, OpAvgPool:
+		return inferPool(in[0], n)
+	case OpGlobalAvgPool:
+		if len(in[0]) != 3 {
+			return nil, fmt.Errorf("GlobalAvgPool needs [C,H,W], got %v", in[0])
+		}
+		return []int{in[0][0]}, nil
+	case OpAdd:
+		if !equalShape(in[0], in[1]) {
+			return nil, fmt.Errorf("Add shape mismatch %v vs %v", in[0], in[1])
+		}
+		return cloneShape(in[0]), nil
+	case OpConcat:
+		return inferConcat(in, n.Attr.Axis)
+	case OpTranspose:
+		if len(in[0]) != 2 {
+			return nil, fmt.Errorf("Transpose needs rank-2 input, got %v", in[0])
+		}
+		return []int{in[0][1], in[0][0]}, nil
+	case OpFlatten:
+		total := 1
+		for _, d := range in[0] {
+			total *= d
+		}
+		return []int{total}, nil
+	}
+	return nil, fmt.Errorf("unknown op %q", n.Op)
+}
+
+func inferConv(in []int, n *Node) ([]int, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("Conv input must be [C,H,W], got %v", in)
+	}
+	outC, inC, kh, kw := n.WeightShape[0], n.WeightShape[1], n.WeightShape[2], n.WeightShape[3]
+	if in[0] != inC {
+		return nil, fmt.Errorf("Conv channel mismatch: input %d vs weights %d", in[0], inC)
+	}
+	if kh != n.Attr.KernelH || kw != n.Attr.KernelW {
+		return nil, fmt.Errorf("Conv kernel attrs (%d,%d) disagree with weight shape (%d,%d)", n.Attr.KernelH, n.Attr.KernelW, kh, kw)
+	}
+	outH := (in[1]+2*n.Attr.Padding-kh)/n.Attr.Stride + 1
+	outW := (in[2]+2*n.Attr.Padding-kw)/n.Attr.Stride + 1
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("Conv output empty: input %v kernel (%d,%d) stride %d pad %d", in, kh, kw, n.Attr.Stride, n.Attr.Padding)
+	}
+	return []int{outC, outH, outW}, nil
+}
+
+func inferDense(in []int, n *Node) ([]int, error) {
+	inF, outF := n.WeightShape[0], n.WeightShape[1]
+	switch len(in) {
+	case 1:
+		if in[0] != inF {
+			return nil, fmt.Errorf("Dense feature mismatch: input %d vs weights %d", in[0], inF)
+		}
+		return []int{outF}, nil
+	case 2:
+		if in[1] != inF {
+			return nil, fmt.Errorf("Dense feature mismatch: input %v vs weights in=%d", in, inF)
+		}
+		return []int{in[0], outF}, nil
+	default:
+		return nil, fmt.Errorf("Dense input must be [n] or [tokens,n], got %v", in)
+	}
+}
+
+func inferMatMul(a, b []int) ([]int, error) {
+	if len(a) != 2 || len(b) != 2 {
+		return nil, fmt.Errorf("MatMul needs rank-2 inputs, got %v and %v", a, b)
+	}
+	if a[1] != b[0] {
+		return nil, fmt.Errorf("MatMul inner dimension mismatch %v vs %v", a, b)
+	}
+	return []int{a[0], b[1]}, nil
+}
+
+func inferPool(in []int, n *Node) ([]int, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("pool input must be [C,H,W], got %v", in)
+	}
+	k, s := n.Attr.KernelH, n.Attr.Stride
+	outH := (in[1]-k)/s + 1
+	outW := (in[2]-k)/s + 1
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("pool output empty for input %v kernel %d stride %d", in, k, s)
+	}
+	return []int{in[0], outH, outW}, nil
+}
+
+func inferConcat(in [][]int, axis int) ([]int, error) {
+	base := cloneShape(in[0])
+	if axis < 0 || axis >= len(base) {
+		return nil, fmt.Errorf("Concat axis %d out of range for %v", axis, base)
+	}
+	for _, s := range in[1:] {
+		if len(s) != len(base) {
+			return nil, fmt.Errorf("Concat rank mismatch %v vs %v", base, s)
+		}
+		for d := range s {
+			if d == axis {
+				continue
+			}
+			if s[d] != base[d] {
+				return nil, fmt.Errorf("Concat non-axis dimension mismatch %v vs %v", base, s)
+			}
+		}
+		base[axis] += s[axis]
+	}
+	return base, nil
+}
+
+func cloneShape(s []int) []int {
+	out := make([]int, len(s))
+	copy(out, s)
+	return out
+}
+
+func equalShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NumElements returns the element count of a shape.
+func NumElements(shape []int) int64 {
+	n := int64(1)
+	for _, d := range shape {
+		n *= int64(d)
+	}
+	return n
+}
+
+// MVMCount returns the number of matrix-vector products a CIM-supported node
+// performs for one inference: the sliding-window count for convolutions
+// (outH×outW), the token count for token-matrix Dense layers, and 1 for
+// vector Dense layers. It returns 0 for non-CIM nodes. Shapes must have been
+// inferred first.
+func (n *Node) MVMCount() int64 {
+	switch n.Op {
+	case OpConv:
+		if len(n.OutShape) == 3 {
+			return int64(n.OutShape[1]) * int64(n.OutShape[2])
+		}
+	case OpDense:
+		if len(n.OutShape) == 2 {
+			return int64(n.OutShape[0])
+		}
+		if len(n.OutShape) == 1 {
+			return 1
+		}
+	}
+	return 0
+}
+
+// WeightMatrixDims returns the (rows, cols) of the weight matrix a
+// CIM-supported node programs into crossbars: Conv lowers to
+// [inC·kH·kW, outC], Dense to [in, out]. ok is false for other ops.
+func (n *Node) WeightMatrixDims() (rows, cols int, ok bool) {
+	switch n.Op {
+	case OpConv:
+		return n.WeightShape[1] * n.WeightShape[2] * n.WeightShape[3], n.WeightShape[0], true
+	case OpDense:
+		return n.WeightShape[0], n.WeightShape[1], true
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,200 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestInferConvShape(t *testing.T) {
+	g := smallConvReluGraph(t)
+	want := []int{32, 32, 32}
+	if !reflect.DeepEqual(g.Nodes[1].OutShape, want) {
+		t.Fatalf("conv out shape = %v, want %v", g.Nodes[1].OutShape, want)
+	}
+	if !reflect.DeepEqual(g.Nodes[2].OutShape, want) {
+		t.Fatalf("relu out shape = %v, want %v", g.Nodes[2].OutShape, want)
+	}
+}
+
+func TestInferConvChannelMismatch(t *testing.T) {
+	g := New("bad")
+	in := g.AddInput("in", 4, 8, 8) // 4 channels
+	g.AddNode("conv", OpConv, []int{in},
+		Attr{KernelH: 3, KernelW: 3, Stride: 1, Padding: 1}, []int{8, 3, 3, 3}) // weights expect 3
+	if err := g.InferShapes(); err == nil {
+		t.Fatal("accepted channel mismatch")
+	}
+}
+
+func TestInferConvKernelAttrMismatch(t *testing.T) {
+	g := New("bad")
+	in := g.AddInput("in", 3, 8, 8)
+	g.AddNode("conv", OpConv, []int{in},
+		Attr{KernelH: 5, KernelW: 5, Stride: 1}, []int{8, 3, 3, 3})
+	if err := g.InferShapes(); err == nil {
+		t.Fatal("accepted kernel attr / weight shape disagreement")
+	}
+}
+
+func TestInferDenseShapes(t *testing.T) {
+	g := New("dense")
+	in := g.AddInput("in", 128)
+	g.AddNode("fc", OpDense, []int{in}, Attr{}, []int{128, 10})
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Nodes[1].OutShape, []int{10}) {
+		t.Fatalf("dense out = %v", g.Nodes[1].OutShape)
+	}
+
+	g2 := New("dense2")
+	in2 := g2.AddInput("in", 197, 768)
+	g2.AddNode("fc", OpDense, []int{in2}, Attr{}, []int{768, 768})
+	if err := g2.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g2.Nodes[1].OutShape, []int{197, 768}) {
+		t.Fatalf("token dense out = %v", g2.Nodes[1].OutShape)
+	}
+}
+
+func TestInferDenseMismatch(t *testing.T) {
+	g := New("bad")
+	in := g.AddInput("in", 100)
+	g.AddNode("fc", OpDense, []int{in}, Attr{}, []int{128, 10})
+	if err := g.InferShapes(); err == nil {
+		t.Fatal("accepted dense feature mismatch")
+	}
+}
+
+func TestInferMatMul(t *testing.T) {
+	g := New("mm")
+	a := g.AddInput("a", 4, 8)
+	bb := g.AddInput("b", 8, 16)
+	g.AddNode("mm", OpMatMul, []int{a, bb}, Attr{}, nil)
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Nodes[2].OutShape, []int{4, 16}) {
+		t.Fatalf("matmul out = %v", g.Nodes[2].OutShape)
+	}
+}
+
+func TestInferMatMulMismatch(t *testing.T) {
+	g := New("bad")
+	a := g.AddInput("a", 4, 8)
+	bb := g.AddInput("b", 9, 16)
+	g.AddNode("mm", OpMatMul, []int{a, bb}, Attr{}, nil)
+	if err := g.InferShapes(); err == nil {
+		t.Fatal("accepted matmul mismatch")
+	}
+}
+
+func TestInferPoolAndGAP(t *testing.T) {
+	g := New("pool")
+	in := g.AddInput("in", 8, 32, 32)
+	p := g.AddNode("pool", OpMaxPool, []int{in}, Attr{KernelH: 2, KernelW: 2, Stride: 2}, nil)
+	g.AddNode("gap", OpGlobalAvgPool, []int{p}, Attr{}, nil)
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Nodes[1].OutShape, []int{8, 16, 16}) {
+		t.Fatalf("pool out = %v", g.Nodes[1].OutShape)
+	}
+	if !reflect.DeepEqual(g.Nodes[2].OutShape, []int{8}) {
+		t.Fatalf("gap out = %v", g.Nodes[2].OutShape)
+	}
+}
+
+func TestInferAddRequiresSameShape(t *testing.T) {
+	g := New("bad")
+	a := g.AddInput("a", 4, 4)
+	bb := g.AddInput("b", 4, 5)
+	g.AddNode("add", OpAdd, []int{a, bb}, Attr{}, nil)
+	if err := g.InferShapes(); err == nil {
+		t.Fatal("accepted mismatched add")
+	}
+}
+
+func TestInferConcat(t *testing.T) {
+	g := New("cat")
+	a := g.AddInput("a", 2, 4)
+	bb := g.AddInput("b", 3, 4)
+	g.AddNode("cat", OpConcat, []int{a, bb}, Attr{Axis: 0}, nil)
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Nodes[2].OutShape, []int{5, 4}) {
+		t.Fatalf("concat out = %v", g.Nodes[2].OutShape)
+	}
+}
+
+func TestInferConcatBadAxis(t *testing.T) {
+	g := New("bad")
+	a := g.AddInput("a", 2, 4)
+	bb := g.AddInput("b", 3, 4)
+	g.AddNode("cat", OpConcat, []int{a, bb}, Attr{Axis: 3}, nil)
+	if err := g.InferShapes(); err == nil {
+		t.Fatal("accepted bad concat axis")
+	}
+}
+
+func TestInferFlatten(t *testing.T) {
+	g := New("flat")
+	in := g.AddInput("in", 8, 4, 4)
+	g.AddNode("flat", OpFlatten, []int{in}, Attr{}, nil)
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Nodes[1].OutShape, []int{128}) {
+		t.Fatalf("flatten out = %v", g.Nodes[1].OutShape)
+	}
+}
+
+func TestMVMCount(t *testing.T) {
+	g := smallConvReluGraph(t)
+	if got := g.Nodes[1].MVMCount(); got != 32*32 {
+		t.Fatalf("conv MVMCount = %d, want 1024", got)
+	}
+	if got := g.Nodes[2].MVMCount(); got != 0 {
+		t.Fatalf("relu MVMCount = %d, want 0", got)
+	}
+
+	g2 := New("dense")
+	in := g2.AddInput("in", 197, 768)
+	g2.AddNode("fc", OpDense, []int{in}, Attr{}, []int{768, 768})
+	if err := g2.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g2.Nodes[1].MVMCount(); got != 197 {
+		t.Fatalf("token dense MVMCount = %d, want 197", got)
+	}
+}
+
+func TestWeightMatrixDims(t *testing.T) {
+	g := smallConvReluGraph(t)
+	r, c, ok := g.Nodes[1].WeightMatrixDims()
+	if !ok || r != 27 || c != 32 {
+		t.Fatalf("conv weight matrix = %d×%d ok=%v, want 27×32", r, c, ok)
+	}
+	if _, _, ok := g.Nodes[2].WeightMatrixDims(); ok {
+		t.Fatal("relu should have no weight matrix")
+	}
+}
+
+func TestNumElements(t *testing.T) {
+	if NumElements([]int{3, 32, 32}) != 3072 {
+		t.Fatal("NumElements wrong")
+	}
+	if NumElements(nil) != 1 {
+		t.Fatal("NumElements of scalar shape should be 1")
+	}
+}
+
+func TestInferRejectsInputWithoutShape(t *testing.T) {
+	g := New("bad")
+	g.Nodes = append(g.Nodes, &Node{ID: 0, Name: "in", Op: OpInput})
+	if err := g.InferShapes(); err == nil {
+		t.Fatal("accepted shapeless input")
+	}
+}

@@ -1,0 +1,144 @@
+// Package mapping implements the operator→crossbar resource calculus of
+// CIM-MLC: the dimension-binding scheme of Figure 7 that expands a weight
+// matrix into cell-precision columns and tiles it over physical crossbars
+// (forming a virtual crossbar, VXB, per operator copy), the placement of
+// copies onto cores and crossbars, and the WLM row-remapping layout of
+// Figure 14.
+package mapping
+
+import (
+	"fmt"
+
+	"cimmlc/internal/arch"
+	"cimmlc/internal/graph"
+)
+
+// Footprint describes the crossbar resources one copy of a CIM-supported
+// operator occupies on a given architecture, under the R→XBR, C→XBC, B→XBC
+// dimension binding (bit slices spread to adjacent columns, Figure 7).
+type Footprint struct {
+	Node int // graph node ID
+
+	Rows int // weight matrix rows R (= inC·kH·kW or Dense in-features)
+	Cols int // weight matrix columns C (= outC or Dense out-features)
+
+	CellCols     int // Cols × cellsPerWeight after bit slicing
+	UsableCols   int // usable cell columns per crossbar (aligned to weight boundary)
+	TilesR       int // crossbar tiles along the row dimension
+	TilesC       int // crossbar tiles along the column dimension
+	XBsPerCopy   int // TilesR × TilesC: the VXB size of one copy
+	CoresPerCopy int // cores to host one copy, ceil(XBsPerCopy / xbPerCore)
+
+	MVMs int64 // matrix-vector products per inference (sliding windows/tokens)
+
+	RowGroups int // sequential wordline activations per tile, ceil(tileRows/parallelRow)
+}
+
+// ComputeFootprint returns the footprint of node n on architecture a. The
+// node must be CIM-supported and shapes must have been inferred.
+func ComputeFootprint(n *graph.Node, a *arch.Arch) (Footprint, error) {
+	r, c, ok := n.WeightMatrixDims()
+	if !ok {
+		return Footprint{}, fmt.Errorf("mapping: node %d (%s) is not CIM-supported", n.ID, n.Op)
+	}
+	if len(n.OutShape) == 0 {
+		return Footprint{}, fmt.Errorf("mapping: node %d has no inferred shape", n.ID)
+	}
+	s := a.CellsPerWeight()
+	usable := (a.XB.Cols / s) * s
+	if usable == 0 {
+		return Footprint{}, fmt.Errorf("mapping: crossbar of %d columns cannot hold a single %d-cell weight", a.XB.Cols, s)
+	}
+	cellCols := c * s
+	tilesR := ceilDiv(r, a.XB.Rows)
+	tilesC := ceilDiv(cellCols, usable)
+	xbs := tilesR * tilesC
+	f := Footprint{
+		Node:         n.ID,
+		Rows:         r,
+		Cols:         c,
+		CellCols:     cellCols,
+		UsableCols:   usable,
+		TilesR:       tilesR,
+		TilesC:       tilesC,
+		XBsPerCopy:   xbs,
+		CoresPerCopy: ceilDiv(xbs, a.Core.XBCount()),
+		MVMs:         n.MVMCount(),
+		RowGroups:    a.RowGroups(minInt(r, a.XB.Rows)),
+	}
+	return f, nil
+}
+
+// Footprints computes the footprint of every CIM-supported node in g.
+func Footprints(g *graph.Graph, a *arch.Arch) (map[int]Footprint, error) {
+	if err := g.InferShapes(); err != nil {
+		return nil, err
+	}
+	out := make(map[int]Footprint)
+	for _, id := range g.CIMNodeIDs() {
+		f, err := ComputeFootprint(g.MustNode(id), a)
+		if err != nil {
+			return nil, err
+		}
+		out[id] = f
+	}
+	return out, nil
+}
+
+// TotalCores returns the cores needed to host every operator once (the
+// minimum chip occupancy of the model).
+func TotalCores(fps map[int]Footprint) int {
+	total := 0
+	for _, f := range fps {
+		total += f.CoresPerCopy
+	}
+	return total
+}
+
+// Rounds returns how many sequential weight-loading rounds one copy of the
+// operator needs on architecture a: 1 when the copy fits the chip, more when
+// even a single copy exceeds every crossbar on the chip (e.g. VGG-16's first
+// classifier layer on PUMA). Each round programs a chip-full slice of the
+// tile set, streams all MVMs through it accumulating partial sums, then
+// reloads (§3.3.2's resource-constrained case, pushed inside one operator).
+func (f Footprint) Rounds(a *arch.Arch) int {
+	return ceilDiv(f.XBsPerCopy, a.TotalCrossbars())
+}
+
+// TileRows returns the number of weight-matrix rows tile (i, ·) of a copy
+// holds: full crossbar height except possibly the last row-stripe.
+func (f Footprint) TileRows(tileR int, a *arch.Arch) int {
+	if tileR < 0 || tileR >= f.TilesR {
+		return 0
+	}
+	if tileR == f.TilesR-1 {
+		rem := f.Rows - tileR*a.XB.Rows
+		return rem
+	}
+	return a.XB.Rows
+}
+
+// TileCellCols returns the number of cell columns tile (·, j) holds.
+func (f Footprint) TileCellCols(tileC int) int {
+	if tileC < 0 || tileC >= f.TilesC {
+		return 0
+	}
+	if tileC == f.TilesC-1 {
+		return f.CellCols - tileC*f.UsableCols
+	}
+	return f.UsableCols
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		panic("mapping: ceilDiv by non-positive divisor")
+	}
+	return (a + b - 1) / b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

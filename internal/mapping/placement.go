@@ -1,0 +1,261 @@
+package mapping
+
+import (
+	"fmt"
+	"sort"
+
+	"cimmlc/internal/arch"
+	"cimmlc/internal/graph"
+)
+
+// Tile is one physical-crossbar slice of one copy of an operator's
+// cell-expanded weight matrix. With a WLM remap factor m>1 each logical tile
+// is split into m sub-tiles (Sub index) holding disjoint row ranges on
+// different crossbars, so all rows can be activated in parallel (Figure 14).
+type Tile struct {
+	Node int
+	Copy int
+	// Logical position in the copy's tiling.
+	TileR, TileC int
+	Sub          int
+	// Physical placement. Round is the sequential weight-loading round for
+	// operators larger than the whole chip; rounds reuse the same crossbars
+	// one after another.
+	Segment int
+	Round   int
+	Core    int // chip-global core index
+	XB      int // chip-global crossbar index (Core·xbPerCore + local)
+	// Occupied wordlines within the crossbar.
+	RowStart, Rows int
+	// Region of the node's cell matrix this tile holds.
+	CellRowOff, CellColOff int
+	CellCols               int
+}
+
+// Placement assigns every operator copy's tiles to physical crossbars, one
+// graph segment at a time (segments execute sequentially and reuse cores).
+type Placement struct {
+	Arch   *arch.Arch
+	Tiles  []Tile
+	ByNode map[int][]int // node ID → indices into Tiles
+	// CoreRange gives each node's allocated core interval [first, last]
+	// within its segment (cores are exclusive to one node per segment).
+	CoreRange map[int][2]int
+	// SegmentCores counts cores used by each segment.
+	SegmentCores []int
+}
+
+// Place computes a placement for the given duplication and remap decisions.
+// dup[node] is the copy count (≥1, default 1); remap[node] the WLM remap
+// factor (≥1, default 1). segments lists the node IDs of each sequentially
+// executed graph segment; CIM nodes absent from every segment are an error.
+func Place(g *graph.Graph, a *arch.Arch, fps map[int]Footprint, dup, remap map[int]int, segments [][]int) (*Placement, error) {
+	if len(segments) == 0 {
+		return nil, fmt.Errorf("mapping: no segments to place")
+	}
+	p := &Placement{
+		Arch:      a,
+		ByNode:    map[int][]int{},
+		CoreRange: map[int][2]int{},
+	}
+	placed := map[int]bool{}
+	for segIdx, seg := range segments {
+		nextCore := 0
+		for _, id := range seg {
+			n := g.MustNode(id)
+			if !n.Op.CIMSupported() {
+				continue
+			}
+			if placed[id] {
+				return nil, fmt.Errorf("mapping: node %d appears in multiple segments", id)
+			}
+			placed[id] = true
+			f, ok := fps[id]
+			if !ok {
+				return nil, fmt.Errorf("mapping: no footprint for node %d", id)
+			}
+			d := valueOr(dup, id, 1)
+			m := valueOr(remap, id, 1)
+			if d < 1 || m < 1 {
+				return nil, fmt.Errorf("mapping: node %d has non-positive dup %d or remap %d", id, d, m)
+			}
+			if m > f.RowGroups {
+				m = f.RowGroups // splitting finer than one parallel-row group gains nothing
+			}
+			used, err := p.placeNode(g, a, f, segIdx, nextCore, d, m)
+			if err != nil {
+				return nil, err
+			}
+			p.CoreRange[id] = [2]int{nextCore, nextCore + used - 1}
+			nextCore += used
+		}
+		if nextCore > a.Chip.CoreCount() {
+			return nil, fmt.Errorf("mapping: segment %d needs %d cores but the chip has %d", segIdx, nextCore, a.Chip.CoreCount())
+		}
+		p.SegmentCores = append(p.SegmentCores, nextCore)
+	}
+	for _, id := range g.CIMNodeIDs() {
+		if !placed[id] {
+			return nil, fmt.Errorf("mapping: CIM node %d not covered by any segment", id)
+		}
+	}
+	return p, nil
+}
+
+// placeNode packs d copies of the node, each with remap factor m, into
+// crossbars starting at core firstCore, and returns the number of cores
+// consumed. When even one copy exceeds the chip, tiles wrap around into
+// sequential rounds that reuse the crossbars (only legal with d=1, m=1: an
+// oversized operator cannot be duplicated or remapped).
+func (p *Placement) placeNode(g *graph.Graph, a *arch.Arch, f Footprint, segment, firstCore, d, m int) (coresUsed int, err error) {
+	xbPerCore := a.Core.XBCount()
+	firstXB := firstCore * xbPerCore
+	chipXBs := a.TotalCrossbars()
+	oversized := f.XBsPerCopy*m > chipXBs-firstXB
+	if oversized && (d > 1 || m > 1) {
+		return 0, fmt.Errorf("mapping: node %d exceeds chip capacity; duplication %d / remap %d not allowed", f.Node, d, m)
+	}
+	window := chipXBs - firstXB // crossbars available per round
+	if window <= 0 {
+		return 0, fmt.Errorf("mapping: no crossbars left for node %d starting at core %d", f.Node, firstCore)
+	}
+	// In core mode the scheduling granularity is a whole core, so every
+	// copy starts on a core boundary; XBM/WLM repack at crossbar
+	// granularity (the Equation-1 refinement).
+	coreAligned := a.Mode == arch.CM
+	seq := 0 // running tile index for round assignment
+	maxXB := firstXB
+	for copyIdx := 0; copyIdx < d; copyIdx++ {
+		if coreAligned && seq%xbPerCore != 0 {
+			seq += xbPerCore - seq%xbPerCore
+		}
+		for tr := 0; tr < f.TilesR; tr++ {
+			tileRows := f.TileRows(tr, a)
+			subRows := ceilDiv(tileRows, m)
+			rowOff := 0
+			for sub := 0; sub < m; sub++ {
+				rows := minInt(subRows, tileRows-rowOff)
+				if rows <= 0 {
+					break
+				}
+				for tc := 0; tc < f.TilesC; tc++ {
+					xb := firstXB + seq%window
+					t := Tile{
+						Node: f.Node, Copy: copyIdx,
+						TileR: tr, TileC: tc, Sub: sub,
+						Segment:    segment,
+						Round:      seq / window,
+						Core:       xb / xbPerCore,
+						XB:         xb,
+						RowStart:   0,
+						Rows:       rows,
+						CellRowOff: tr*a.XB.Rows + rowOff,
+						CellColOff: tc * f.UsableCols,
+						CellCols:   f.TileCellCols(tc),
+					}
+					p.ByNode[f.Node] = append(p.ByNode[f.Node], len(p.Tiles))
+					p.Tiles = append(p.Tiles, t)
+					seq++
+					if xb+1 > maxXB {
+						maxXB = xb + 1
+					}
+				}
+				rowOff += rows
+			}
+		}
+	}
+	if seq > window && (d > 1 || m > 1) {
+		return 0, fmt.Errorf("mapping: node %d with dup %d remap %d needs %d crossbars but only %d remain", f.Node, d, m, seq, window)
+	}
+	coresUsed = ceilDiv(maxXB-firstXB, xbPerCore)
+	if coresUsed == 0 {
+		coresUsed = 1
+	}
+	return coresUsed, nil
+}
+
+// TilesOf returns the tiles of one node, ordered by (copy, tileR, sub, tileC).
+func (p *Placement) TilesOf(node int) []Tile {
+	idxs := p.ByNode[node]
+	out := make([]Tile, len(idxs))
+	for i, ix := range idxs {
+		out[i] = p.Tiles[ix]
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Copy != b.Copy {
+			return a.Copy < b.Copy
+		}
+		if a.TileR != b.TileR {
+			return a.TileR < b.TileR
+		}
+		if a.Sub != b.Sub {
+			return a.Sub < b.Sub
+		}
+		return a.TileC < b.TileC
+	})
+	return out
+}
+
+// XBsUsed returns the number of distinct crossbars occupied in a segment.
+func (p *Placement) XBsUsed(segment int) int {
+	seen := map[int]bool{}
+	for _, t := range p.Tiles {
+		if t.Segment == segment {
+			seen[t.XB] = true
+		}
+	}
+	return len(seen)
+}
+
+// Validate checks structural invariants: tiles within chip bounds, no two
+// tiles of the same segment sharing a crossbar (this packing never co-locates
+// tiles), and cell regions within each node's cell matrix.
+func (p *Placement) Validate(g *graph.Graph, fps map[int]Footprint) error {
+	a := p.Arch
+	type slot struct{ seg, round, xb int }
+	seen := map[slot]bool{}
+	for i, t := range p.Tiles {
+		if t.Core < 0 || t.Core >= a.Chip.CoreCount() {
+			return fmt.Errorf("mapping: tile %d on core %d out of range", i, t.Core)
+		}
+		if t.XB < 0 || t.XB >= a.TotalCrossbars() {
+			return fmt.Errorf("mapping: tile %d on crossbar %d out of range", i, t.XB)
+		}
+		if t.XB/a.Core.XBCount() != t.Core {
+			return fmt.Errorf("mapping: tile %d crossbar %d not in core %d", i, t.XB, t.Core)
+		}
+		if t.RowStart < 0 || t.Rows <= 0 || t.RowStart+t.Rows > a.XB.Rows {
+			return fmt.Errorf("mapping: tile %d rows [%d,%d) exceed crossbar height %d", i, t.RowStart, t.RowStart+t.Rows, a.XB.Rows)
+		}
+		if t.CellCols <= 0 || t.CellCols > a.XB.Cols {
+			return fmt.Errorf("mapping: tile %d holds %d cell columns, crossbar width %d", i, t.CellCols, a.XB.Cols)
+		}
+		f, ok := fps[t.Node]
+		if !ok {
+			return fmt.Errorf("mapping: tile %d references node %d without footprint", i, t.Node)
+		}
+		if t.CellRowOff+t.Rows > f.Rows {
+			return fmt.Errorf("mapping: tile %d cell rows [%d,%d) exceed matrix rows %d", i, t.CellRowOff, t.CellRowOff+t.Rows, f.Rows)
+		}
+		if t.CellColOff+t.CellCols > f.CellCols {
+			return fmt.Errorf("mapping: tile %d cell cols [%d,%d) exceed matrix cols %d", i, t.CellColOff, t.CellColOff+t.CellCols, f.CellCols)
+		}
+		s := slot{t.Segment, t.Round, t.XB}
+		if seen[s] {
+			return fmt.Errorf("mapping: crossbar %d used twice in segment %d round %d", t.XB, t.Segment, t.Round)
+		}
+		seen[s] = true
+	}
+	return nil
+}
+
+func valueOr(m map[int]int, key, def int) int {
+	if m == nil {
+		return def
+	}
+	if v, ok := m[key]; ok {
+		return v
+	}
+	return def
+}

@@ -1,0 +1,261 @@
+// Package models is the network zoo of the evaluation (§4.1): the VGG
+// series, the ResNet series, vision transformers, plus the small didactic
+// networks used by the paper's walkthroughs. All models are constructed
+// programmatically with the canonical layer shapes (the ONNX-import
+// substitution documented in DESIGN.md); weights and activations are assumed
+// 8-bit quantized, which the architecture description carries.
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"cimmlc/internal/graph"
+)
+
+// ConvReLU returns the §3.4 walkthrough micro-network: one convolution of
+// kernel (32,3,3,3), stride 1, padding 1 over a (3,32,32) input, followed by
+// ReLU.
+func ConvReLU() *graph.Graph {
+	return graph.NewBuilder("conv-relu", 3, 32, 32).
+		Conv(32, 3, 1, 1).ReLU().
+		MustFinish()
+}
+
+// MLP returns a small three-layer perceptron on flattened 28×28 inputs.
+func MLP() *graph.Graph {
+	return graph.NewBuilder("mlp", 784).
+		Dense(256).ReLU().
+		Dense(128).ReLU().
+		Dense(10).
+		MustFinish()
+}
+
+// LeNet5 returns the classic LeNet-5 on 28×28 single-channel inputs.
+func LeNet5() *graph.Graph {
+	return graph.NewBuilder("lenet5", 1, 28, 28).
+		Conv(6, 5, 1, 2).ReLU().MaxPool(2, 2).
+		Conv(16, 5, 1, 0).ReLU().MaxPool(2, 2).
+		Flatten().
+		Dense(120).ReLU().
+		Dense(84).ReLU().
+		Dense(10).
+		MustFinish()
+}
+
+// vggSpec lists output channels per conv layer with 0 denoting a 2×2/2 max
+// pool, following Simonyan & Zisserman's configurations.
+func vggSpec(name string, spec []int, inputSide int, classifier []int) *graph.Graph {
+	b := graph.NewBuilder(name, 3, inputSide, inputSide)
+	for _, c := range spec {
+		if c == 0 {
+			b.MaxPool(2, 2)
+			continue
+		}
+		b.Conv(c, 3, 1, 1).ReLU()
+	}
+	b.Flatten()
+	for i, f := range classifier {
+		b.Dense(f)
+		if i != len(classifier)-1 {
+			b.ReLU()
+		}
+	}
+	return b.MustFinish()
+}
+
+// VGG7 returns the compact CIFAR-scale VGG commonly used by CIM macro papers
+// (the Figure 20(c) benchmark against Jain et al.): six 3×3 conv layers in
+// three stages over 32×32 inputs plus a two-layer classifier.
+func VGG7() *graph.Graph {
+	return vggSpec("vgg7",
+		[]int{128, 128, 0, 256, 256, 0, 512, 512, 0},
+		32, []int{1024, 10})
+}
+
+// VGG11 returns VGG-11 (configuration A) on 224×224 ImageNet inputs.
+func VGG11() *graph.Graph {
+	return vggSpec("vgg11",
+		[]int{64, 0, 128, 0, 256, 256, 0, 512, 512, 0, 512, 512, 0},
+		224, []int{4096, 4096, 1000})
+}
+
+// VGG13 returns VGG-13 (configuration B).
+func VGG13() *graph.Graph {
+	return vggSpec("vgg13",
+		[]int{64, 64, 0, 128, 128, 0, 256, 256, 0, 512, 512, 0, 512, 512, 0},
+		224, []int{4096, 4096, 1000})
+}
+
+// VGG16 returns VGG-16 (configuration D), the Figure 20(a)/(b) benchmark.
+func VGG16() *graph.Graph {
+	return vggSpec("vgg16",
+		[]int{64, 64, 0, 128, 128, 0, 256, 256, 256, 0, 512, 512, 512, 0, 512, 512, 512, 0},
+		224, []int{4096, 4096, 1000})
+}
+
+// VGG19 returns VGG-19 (configuration E).
+func VGG19() *graph.Graph {
+	return vggSpec("vgg19",
+		[]int{64, 64, 0, 128, 128, 0, 256, 256, 256, 256, 0, 512, 512, 512, 512, 0, 512, 512, 512, 512, 0},
+		224, []int{4096, 4096, 1000})
+}
+
+// basicBlock appends a ResNet basic block (two 3×3 convs) with a projection
+// shortcut when shape changes. Batch normalization is folded into the convs,
+// the standard deployment form for 8-bit inference.
+func basicBlock(b *graph.Builder, outC, stride int) {
+	from := b.Last
+	inShape := b.CurrentShape()
+	b.Conv(outC, 3, stride, 1).ReLU().Conv(outC, 3, 1, 1)
+	main := b.Last
+	short := from
+	if stride != 1 || inShape[0] != outC {
+		b.Last = from
+		b.Conv(outC, 1, stride, 0)
+		short = b.Last
+	}
+	b.Last = main
+	b.AddFrom(short).ReLU()
+}
+
+// bottleneckBlock appends a ResNet bottleneck block (1×1 reduce, 3×3, 1×1
+// expand ×4).
+func bottleneckBlock(b *graph.Builder, midC, stride int) {
+	outC := midC * 4
+	from := b.Last
+	inShape := b.CurrentShape()
+	b.Conv(midC, 1, 1, 0).ReLU().
+		Conv(midC, 3, stride, 1).ReLU().
+		Conv(outC, 1, 1, 0)
+	main := b.Last
+	short := from
+	if stride != 1 || inShape[0] != outC {
+		b.Last = from
+		b.Conv(outC, 1, stride, 0)
+		short = b.Last
+	}
+	b.Last = main
+	b.AddFrom(short).ReLU()
+}
+
+func resnet(name string, blocks [4]int, bottleneck bool) *graph.Graph {
+	b := graph.NewBuilder(name, 3, 224, 224)
+	b.Conv(64, 7, 2, 3).ReLU().MaxPool(3, 2)
+	widths := [4]int{64, 128, 256, 512}
+	for stage := 0; stage < 4; stage++ {
+		for blk := 0; blk < blocks[stage]; blk++ {
+			stride := 1
+			if blk == 0 && stage > 0 {
+				stride = 2
+			}
+			if bottleneck {
+				bottleneckBlock(b, widths[stage], stride)
+			} else {
+				basicBlock(b, widths[stage], stride)
+			}
+		}
+	}
+	return b.GlobalAvgPool().Dense(1000).MustFinish()
+}
+
+// ResNet18 returns ResNet-18 on ImageNet inputs.
+func ResNet18() *graph.Graph { return resnet("resnet18", [4]int{2, 2, 2, 2}, false) }
+
+// ResNet34 returns ResNet-34.
+func ResNet34() *graph.Graph { return resnet("resnet34", [4]int{3, 4, 6, 3}, false) }
+
+// ResNet50 returns ResNet-50.
+func ResNet50() *graph.Graph { return resnet("resnet50", [4]int{3, 4, 6, 3}, true) }
+
+// ResNet101 returns ResNet-101.
+func ResNet101() *graph.Graph { return resnet("resnet101", [4]int{3, 4, 23, 3}, true) }
+
+// ResNet152 returns ResNet-152.
+func ResNet152() *graph.Graph { return resnet("resnet152", [4]int{3, 8, 36, 3}, true) }
+
+// vit builds a vision transformer with the given embedding dimension, depth
+// and MLP expansion over 224×224 images with 16×16 patches. Patch embedding
+// is the standard linear projection of flattened patches (a Dense layer on
+// the [196, 768] patch matrix); attention is modelled single-headed, which
+// preserves the weight matrices (the CIM-mapped Q/K/V/O projections and the
+// MLP) and the dynamic-MatMul structure exactly.
+func vit(name string, dim, depth, mlpDim int) *graph.Graph {
+	const tokens = 14 * 14
+	const patchDim = 16 * 16 * 3
+	b := graph.NewBuilder(name, tokens, patchDim)
+	b.Dense(dim) // patch embedding
+	for l := 0; l < depth; l++ {
+		blockIn := b.Last
+		b.LayerNorm()
+		ln := b.Last
+		// Attention: Q, K, V projections, scores, weighted sum, output
+		// projection, residual.
+		b.Last = ln
+		b.Dense(dim)
+		q := b.Last
+		b.Last = ln
+		b.Dense(dim)
+		k := b.Last
+		b.Last = ln
+		b.Dense(dim)
+		v := b.Last
+		b.Last = k
+		b.Transpose()
+		kt := b.Last
+		b.Last = q
+		b.MatMulWith(kt).Softmax().MatMulWith(v).Dense(dim).AddFrom(blockIn)
+		attnOut := b.Last
+		// MLP: LN → fc → GELU → fc → residual.
+		b.LayerNorm().Dense(mlpDim).GELU().Dense(dim).AddFrom(attnOut)
+	}
+	return b.LayerNorm().Dense(1000).MustFinish()
+}
+
+// ViTTiny returns ViT-Ti/16 (dim 192, depth 12, MLP 768).
+func ViTTiny() *graph.Graph { return vit("vit-tiny", 192, 12, 768) }
+
+// ViTSmall returns ViT-S/16 (dim 384, depth 12, MLP 1536).
+func ViTSmall() *graph.Graph { return vit("vit-small", 384, 12, 1536) }
+
+// ViTBase returns ViT-B/16 (dim 768, depth 12, MLP 3072), the Figure 22
+// sensitivity-study benchmark ("numerous matrices with a row size of 768").
+func ViTBase() *graph.Graph { return vit("vit-base", 768, 12, 3072) }
+
+var zoo = map[string]func() *graph.Graph{
+	"conv-relu": ConvReLU,
+	"mlp":       MLP,
+	"lenet5":    LeNet5,
+	"vgg7":      VGG7,
+	"vgg11":     VGG11,
+	"vgg13":     VGG13,
+	"vgg16":     VGG16,
+	"vgg19":     VGG19,
+	"resnet18":  ResNet18,
+	"resnet34":  ResNet34,
+	"resnet50":  ResNet50,
+	"resnet101": ResNet101,
+	"resnet152": ResNet152,
+	"vit-tiny":  ViTTiny,
+	"vit-small": ViTSmall,
+	"vit-base":  ViTBase,
+}
+
+// Build returns a fresh copy of the named model graph.
+func Build(name string) (*graph.Graph, error) {
+	fn, ok := zoo[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown model %q (have %v)", name, Names())
+	}
+	return fn(), nil
+}
+
+// Names lists the available model names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(zoo))
+	for n := range zoo {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,162 @@
+package mop
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Flow is a compiled meta-operator program: an initialization section that
+// programs weights (cim.writexb / cim.writerow; empty in CM where weights
+// are preloaded with the core binding) and a compute section executed per
+// inference. Mode, Graph and Arch record provenance for reports.
+type Flow struct {
+	Mode  string
+	Graph string
+	Arch  string
+	Init  []Op
+	Body  []Op
+}
+
+// Stats summarizes a flow for reports and tests.
+type Stats struct {
+	CIMOps      int
+	DCOMOps     int
+	DMOVOps     int
+	ParallelOps int
+	TotalLeaf   int // all non-parallel operators, inside or outside groups
+	MaxFanOut   int // widest parallel group
+}
+
+// Stats walks the flow (both sections) and tallies operator counts.
+func (f *Flow) Stats() Stats {
+	var s Stats
+	var walk func(ops []Op)
+	walk = func(ops []Op) {
+		for _, op := range ops {
+			switch o := op.(type) {
+			case Parallel:
+				s.ParallelOps++
+				if len(o.Body) > s.MaxFanOut {
+					s.MaxFanOut = len(o.Body)
+				}
+				walk(o.Body)
+			default:
+				s.TotalLeaf++
+				switch op.Kind() {
+				case KindCIM:
+					s.CIMOps++
+				case KindDCOM:
+					s.DCOMOps++
+				case KindDMOV:
+					s.DMOVOps++
+				}
+			}
+		}
+	}
+	walk(f.Init)
+	walk(f.Body)
+	return s
+}
+
+// Validate checks structural well-formedness: no nil or nested-parallel
+// operators, non-negative addresses and lengths, and known DCOM functions.
+func (f *Flow) Validate() error {
+	if !validMode(f.Mode) {
+		return fmt.Errorf("mop: flow has invalid mode %q", f.Mode)
+	}
+	if err := validateOps(f.Init, false); err != nil {
+		return fmt.Errorf("mop: init section: %w", err)
+	}
+	if err := validateOps(f.Body, false); err != nil {
+		return fmt.Errorf("mop: body section: %w", err)
+	}
+	return nil
+}
+
+func validMode(m string) bool { return m == "CM" || m == "XBM" || m == "WLM" }
+
+func validateOps(ops []Op, nested bool) error {
+	for i, op := range ops {
+		if op == nil {
+			return fmt.Errorf("nil operator at %d", i)
+		}
+		switch o := op.(type) {
+		case Parallel:
+			if nested {
+				return fmt.Errorf("nested parallel at %d", i)
+			}
+			if len(o.Body) == 0 {
+				return fmt.Errorf("empty parallel at %d", i)
+			}
+			if err := validateOps(o.Body, true); err != nil {
+				return err
+			}
+		case ReadCore:
+			if o.Core < 0 || o.Node < 0 || o.Src < 0 || o.Dst < 0 || o.WinStart < 0 || o.WinCount <= 0 {
+				return fmt.Errorf("readcore %d: invalid operands %+v", i, o)
+			}
+		case ReadXB:
+			if o.XB < 0 || o.Src < 0 || o.Dst < 0 || o.DstStride < 1 {
+				return fmt.Errorf("readxb %d: invalid operands %+v", i, o)
+			}
+		case WriteXB:
+			if o.XB < 0 || o.Node < 0 || o.CellRowOff < 0 || o.CellColOff < 0 || o.Rows <= 0 || o.Cols <= 0 {
+				return fmt.Errorf("writexb %d: invalid operands %+v", i, o)
+			}
+		case ReadRow:
+			if o.XB < 0 || o.Row < 0 || o.NumRows <= 0 || o.Src < 0 || o.Dst < 0 || o.DstStride < 1 {
+				return fmt.Errorf("readrow %d: invalid operands %+v", i, o)
+			}
+		case WriteRow:
+			if o.XB < 0 || o.Row < 0 || o.NumRows <= 0 || o.Node < 0 || o.CellRowOff < 0 || o.CellColOff < 0 || o.Cols <= 0 {
+				return fmt.Errorf("writerow %d: invalid operands %+v", i, o)
+			}
+		case Dcom:
+			if !KnownDcomFn(o.Fn) {
+				return fmt.Errorf("dcom %d: unknown function %q", i, o.Fn)
+			}
+			if len(o.Srcs) == 0 || o.Dst < 0 || o.Len <= 0 {
+				return fmt.Errorf("dcom %d: invalid operands %+v", i, o)
+			}
+			for _, s := range o.Srcs {
+				if s < 0 {
+					return fmt.Errorf("dcom %d: negative source %+v", i, o)
+				}
+			}
+		case Mov:
+			if o.Src < 0 || o.Dst < 0 || o.Len <= 0 {
+				return fmt.Errorf("mov %d: invalid operands %+v", i, o)
+			}
+		case MovWindow:
+			if o.Node < 0 || o.Window < 0 || o.SrcBase < 0 || o.Dst < 0 {
+				return fmt.Errorf("mov_window %d: invalid operands %+v", i, o)
+			}
+		default:
+			return fmt.Errorf("unknown operator type %T at %d", op, i)
+		}
+	}
+	return nil
+}
+
+// Print renders the flow in the concrete syntax (Figure 16 right-hand side).
+func (f *Flow) Print() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "flow mode=%s graph=%s arch=%s\n", f.Mode, f.Graph, f.Arch)
+	if len(f.Init) > 0 {
+		b.WriteString("init:\n")
+		writeOps(&b, f.Init)
+	}
+	b.WriteString("compute:\n")
+	writeOps(&b, f.Body)
+	return b.String()
+}
+
+func writeOps(b *strings.Builder, ops []Op) {
+	for _, op := range ops {
+		for _, line := range strings.Split(op.String(), "\n") {
+			b.WriteString("  ")
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Package mop defines the meta-operator sets of CIM-MLC (§3.3) and the
+// meta-operator flow the compiler emits.
+//
+// Three CIM meta-operator families mirror the computing modes:
+//
+//	MOP_CM  — cim.readcore           (Figure 11)
+//	MOP_XBM — cim.readxb, cim.writexb (Figure 13)
+//	MOP_WLM — cim.readrow, cim.writerow (Figure 15)
+//
+// plus the digital-compute family DCOM (relu, add, …), the data-movement
+// family DMOV (mov and the window-gather extension mov_window), and the
+// parallel{…} grouping of Figure 10. The paper explicitly allows extending
+// the meta-operator set with hardware-supported operations; mov_window is
+// this reproduction's one extension, encoding the im2col gather of one
+// convolution sliding window so flows stay executable without millions of
+// scalar movs.
+//
+// Operands reference a flat buffer address space (int64 word addresses) plus
+// structural references into the compiled model (node IDs, crossbar IDs,
+// cell offsets) that the functional simulator resolves against crossbar
+// state programmed by the write meta-operators.
+package mop
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a meta-operator for statistics and validation.
+type Kind string
+
+const (
+	KindCIM      Kind = "CIM"
+	KindDCOM     Kind = "DCOM"
+	KindDMOV     Kind = "DMOV"
+	KindParallel Kind = "PARALLEL"
+)
+
+// Op is one meta-operator. Implementations are the concrete operator structs
+// in this package; String renders the operator in the BNF-derived concrete
+// syntax that Parse accepts back.
+type Op interface {
+	Kind() Kind
+	String() string
+}
+
+// ReadCore is MOP_CM's cim.readcore: execute operation `OpType` of graph
+// node `Node` on core `Core`, consuming the sub-feature-map window range
+// [WinStart, WinStart+WinCount) read from Src and writing results to Dst
+// (Figure 11). The window range carries the input-partition attribute that
+// operator duplication introduces (Figure 9(a)).
+type ReadCore struct {
+	OpType   string
+	Node     int
+	Core     int
+	Src, Dst int64
+	WinStart int64
+	WinCount int64
+}
+
+func (ReadCore) Kind() Kind { return KindCIM }
+
+func (o ReadCore) String() string {
+	return fmt.Sprintf("cim.readcore(type=%s, node=%d, core=%d, src=%d, dst=%d, wstart=%d, wcount=%d)",
+		o.OpType, o.Node, o.Core, o.Src, o.Dst, o.WinStart, o.WinCount)
+}
+
+// WriteXB is MOP_XBM's cim.writexb: program a tile of node `Node`'s
+// cell-expanded weight matrix into crossbar `XB` (a chip-global crossbar
+// index). The tile covers cell-matrix rows [CellRowOff, CellRowOff+Rows) and
+// columns [CellColOff, CellColOff+Cols), placed at the crossbar's origin.
+type WriteXB struct {
+	XB         int
+	Node       int
+	CellRowOff int
+	CellColOff int
+	Rows, Cols int
+}
+
+func (WriteXB) Kind() Kind { return KindCIM }
+
+func (o WriteXB) String() string {
+	return fmt.Sprintf("cim.writexb(xb=%d, node=%d, cellrow=%d, cellcol=%d, rows=%d, cols=%d)",
+		o.XB, o.Node, o.CellRowOff, o.CellColOff, o.Rows, o.Cols)
+}
+
+// ReadXB is MOP_XBM's cim.readxb: activate the whole programmed region of
+// crossbar `XB`, multiplying the input vector at Src (length = programmed
+// rows) by the stored tile. The recombined per-weight-column results
+// (length = programmed weight columns) are written to Dst; when Acc is set
+// they accumulate into Dst instead (partial sums of row-split matrices).
+type ReadXB struct {
+	XB       int
+	Src, Dst int64
+	// DstStride spaces consecutive output columns in the destination
+	// buffer (1 for contiguous vectors, outH·outW for NCHW feature maps).
+	DstStride int64
+	Acc       bool
+}
+
+func (ReadXB) Kind() Kind { return KindCIM }
+
+func (o ReadXB) String() string {
+	return fmt.Sprintf("cim.readxb(xb=%d, src=%d, dst=%d, stride=%d, acc=%s)", o.XB, o.Src, o.Dst, o.DstStride, boolStr(o.Acc))
+}
+
+// WriteRow is MOP_WLM's cim.writerow: program `NumRows` wordlines of
+// crossbar `XB` starting at Row with a slice of node `Node`'s cell matrix
+// (rows CellRowOff…, columns CellColOff…CellColOff+Cols).
+type WriteRow struct {
+	XB         int
+	Row        int
+	NumRows    int
+	Node       int
+	CellRowOff int
+	CellColOff int
+	Cols       int
+}
+
+func (WriteRow) Kind() Kind { return KindCIM }
+
+func (o WriteRow) String() string {
+	return fmt.Sprintf("cim.writerow(xb=%d, row=%d, nrows=%d, node=%d, cellrow=%d, cellcol=%d, cols=%d)",
+		o.XB, o.Row, o.NumRows, o.Node, o.CellRowOff, o.CellColOff, o.Cols)
+}
+
+// ReadRow is MOP_WLM's cim.readrow: activate `NumRows` wordlines of crossbar
+// `XB` starting at Row against the input segment at Src, producing (or, with
+// Acc, accumulating) per-weight-column partial sums at Dst.
+type ReadRow struct {
+	XB        int
+	Row       int
+	NumRows   int
+	Src, Dst  int64
+	DstStride int64
+	Acc       bool
+}
+
+func (ReadRow) Kind() Kind { return KindCIM }
+
+func (o ReadRow) String() string {
+	return fmt.Sprintf("cim.readrow(xb=%d, row=%d, nrows=%d, src=%d, dst=%d, stride=%d, acc=%s)",
+		o.XB, o.Row, o.NumRows, o.Src, o.Dst, o.DstStride, boolStr(o.Acc))
+}
+
+// DcomFn names a digital-compute function the chip/core ALU supports.
+type DcomFn string
+
+const (
+	FnReLU      DcomFn = "relu"
+	FnAdd       DcomFn = "add"
+	FnGELU      DcomFn = "gelu"
+	FnMaxPool   DcomFn = "maxpool"
+	FnAvgPool   DcomFn = "avgpool"
+	FnGAP       DcomFn = "gap"
+	FnSoftmax   DcomFn = "softmax"
+	FnLayerNorm DcomFn = "layernorm"
+	FnMatMul    DcomFn = "matmul"
+	FnTranspose DcomFn = "transpose"
+	FnIdentity  DcomFn = "identity"
+	FnConcat    DcomFn = "concat"
+	FnFlatten   DcomFn = "flatten"
+)
+
+// KnownDcomFn reports whether fn is one of the predefined digital functions.
+func KnownDcomFn(fn DcomFn) bool {
+	switch fn {
+	case FnReLU, FnAdd, FnGELU, FnMaxPool, FnAvgPool, FnGAP, FnSoftmax,
+		FnLayerNorm, FnMatMul, FnTranspose, FnIdentity, FnConcat, FnFlatten:
+		return true
+	}
+	return false
+}
+
+// Dcom is a DCOM digital-compute meta-operator: fn(src…, dst, len) per
+// Figure 10, tagged with the graph node whose shape attributes parameterize
+// the function (pool kernels, softmax axis, …).
+type Dcom struct {
+	Fn   DcomFn
+	Node int
+	Srcs []int64
+	Dst  int64
+	Len  int64
+}
+
+func (Dcom) Kind() Kind { return KindDCOM }
+
+func (o Dcom) String() string {
+	parts := make([]string, len(o.Srcs))
+	for i, s := range o.Srcs {
+		parts[i] = fmt.Sprintf("%d", s)
+	}
+	return fmt.Sprintf("%s(node=%d, src=[%s], dst=%d, len=%d)", o.Fn, o.Node, strings.Join(parts, " "), o.Dst, o.Len)
+}
+
+// Mov is DMOV's mov(src,dst,len): copy Len words between buffer addresses.
+type Mov struct {
+	Src, Dst int64
+	Len      int64
+}
+
+func (Mov) Kind() Kind { return KindDMOV }
+
+func (o Mov) String() string {
+	return fmt.Sprintf("mov(src=%d, dst=%d, len=%d)", o.Src, o.Dst, o.Len)
+}
+
+// MovWindow is the DMOV extension mov_window: gather the im2col row of
+// sliding window `Window` of node `Node`'s input (whose feature map starts
+// at SrcBase) into the contiguous vector at Dst. Its length is the node's
+// weight-matrix row count.
+type MovWindow struct {
+	Node    int
+	Window  int64
+	SrcBase int64
+	Dst     int64
+}
+
+func (MovWindow) Kind() Kind { return KindDMOV }
+
+func (o MovWindow) String() string {
+	return fmt.Sprintf("mov_window(node=%d, window=%d, srcbase=%d, dst=%d)", o.Node, o.Window, o.SrcBase, o.Dst)
+}
+
+// Parallel groups operators that execute concurrently (Figure 10's
+// parallel{…} label).
+type Parallel struct {
+	Body []Op
+}
+
+func (Parallel) Kind() Kind { return KindParallel }
+
+func (o Parallel) String() string {
+	var b strings.Builder
+	b.WriteString("parallel {\n")
+	for _, op := range o.Body {
+		for _, line := range strings.Split(op.String(), "\n") {
+			b.WriteString("  ")
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+func boolStr(v bool) string {
+	if v {
+		return "1"
+	}
+	return "0"
+}

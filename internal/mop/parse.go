@@ -1,0 +1,286 @@
+package mop
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a flow back from the concrete syntax produced by Flow.Print,
+// providing the round-trip that lets flows be saved to and loaded from disk.
+func Parse(text string) (*Flow, error) {
+	p := &parser{lines: splitLines(text)}
+	return p.flow()
+}
+
+type parser struct {
+	lines []string
+	pos   int
+}
+
+func splitLines(text string) []string {
+	raw := strings.Split(text, "\n")
+	var out []string
+	for _, l := range raw {
+		l = strings.TrimSpace(l)
+		if l == "" || strings.HasPrefix(l, "#") || strings.HasPrefix(l, "//") {
+			continue
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+func (p *parser) peek() (string, bool) {
+	if p.pos >= len(p.lines) {
+		return "", false
+	}
+	return p.lines[p.pos], true
+}
+
+func (p *parser) next() (string, bool) {
+	l, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return l, ok
+}
+
+func (p *parser) flow() (*Flow, error) {
+	head, ok := p.next()
+	if !ok || !strings.HasPrefix(head, "flow ") {
+		return nil, fmt.Errorf("mop: parse: expected 'flow mode=… graph=… arch=…' header, got %q", head)
+	}
+	f := &Flow{}
+	for _, field := range strings.Fields(head)[1:] {
+		k, v, found := strings.Cut(field, "=")
+		if !found {
+			return nil, fmt.Errorf("mop: parse: bad header field %q", field)
+		}
+		switch k {
+		case "mode":
+			f.Mode = v
+		case "graph":
+			f.Graph = v
+		case "arch":
+			f.Arch = v
+		default:
+			return nil, fmt.Errorf("mop: parse: unknown header field %q", k)
+		}
+	}
+	for {
+		line, ok := p.next()
+		if !ok {
+			break
+		}
+		switch line {
+		case "init:":
+			ops, err := p.section()
+			if err != nil {
+				return nil, err
+			}
+			f.Init = ops
+		case "compute:":
+			ops, err := p.section()
+			if err != nil {
+				return nil, err
+			}
+			f.Body = ops
+		default:
+			return nil, fmt.Errorf("mop: parse: expected section label, got %q", line)
+		}
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// section parses operators until the next section label or EOF.
+func (p *parser) section() ([]Op, error) {
+	var ops []Op
+	for {
+		line, ok := p.peek()
+		if !ok || line == "init:" || line == "compute:" {
+			return ops, nil
+		}
+		p.pos++
+		if line == "parallel {" {
+			var body []Op
+			for {
+				inner, ok := p.next()
+				if !ok {
+					return nil, fmt.Errorf("mop: parse: unterminated parallel block")
+				}
+				if inner == "}" {
+					break
+				}
+				op, err := parseOp(inner)
+				if err != nil {
+					return nil, err
+				}
+				body = append(body, op)
+			}
+			ops = append(ops, Parallel{Body: body})
+			continue
+		}
+		op, err := parseOp(line)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+}
+
+func parseOp(line string) (Op, error) {
+	head, rest, found := strings.Cut(line, "(")
+	if !found || !strings.HasSuffix(rest, ")") {
+		return nil, fmt.Errorf("mop: parse: malformed operator %q", line)
+	}
+	args, err := parseArgs(strings.TrimSuffix(rest, ")"))
+	if err != nil {
+		return nil, fmt.Errorf("mop: parse: %q: %w", line, err)
+	}
+	switch head {
+	case "cim.readcore":
+		return ReadCore{
+			OpType:   args.str("type"),
+			Node:     args.int("node"),
+			Core:     args.int("core"),
+			Src:      args.i64("src"),
+			Dst:      args.i64("dst"),
+			WinStart: args.i64("wstart"),
+			WinCount: args.i64("wcount"),
+		}, args.err
+	case "cim.readxb":
+		return ReadXB{XB: args.int("xb"), Src: args.i64("src"), Dst: args.i64("dst"), DstStride: args.i64("stride"), Acc: args.boolArg("acc")}, args.err
+	case "cim.writexb":
+		return WriteXB{
+			XB: args.int("xb"), Node: args.int("node"),
+			CellRowOff: args.int("cellrow"), CellColOff: args.int("cellcol"),
+			Rows: args.int("rows"), Cols: args.int("cols"),
+		}, args.err
+	case "cim.readrow":
+		return ReadRow{
+			XB: args.int("xb"), Row: args.int("row"), NumRows: args.int("nrows"),
+			Src: args.i64("src"), Dst: args.i64("dst"), DstStride: args.i64("stride"),
+			Acc: args.boolArg("acc"),
+		}, args.err
+	case "cim.writerow":
+		return WriteRow{
+			XB: args.int("xb"), Row: args.int("row"), NumRows: args.int("nrows"),
+			Node: args.int("node"), CellRowOff: args.int("cellrow"),
+			CellColOff: args.int("cellcol"), Cols: args.int("cols"),
+		}, args.err
+	case "mov":
+		return Mov{Src: args.i64("src"), Dst: args.i64("dst"), Len: args.i64("len")}, args.err
+	case "mov_window":
+		return MovWindow{
+			Node: args.int("node"), Window: args.i64("window"),
+			SrcBase: args.i64("srcbase"), Dst: args.i64("dst"),
+		}, args.err
+	default:
+		fn := DcomFn(head)
+		if !KnownDcomFn(fn) {
+			return nil, fmt.Errorf("mop: parse: unknown operator %q", head)
+		}
+		return Dcom{
+			Fn: fn, Node: args.int("node"),
+			Srcs: args.i64List("src"), Dst: args.i64("dst"), Len: args.i64("len"),
+		}, args.err
+	}
+}
+
+// argMap accumulates the first parse error instead of forcing every call
+// site to check; the caller inspects .err once.
+type argMap struct {
+	m   map[string]string
+	err error
+}
+
+func parseArgs(s string) (*argMap, error) {
+	a := &argMap{m: map[string]string{}}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return a, nil
+	}
+	// Split on commas that are not inside brackets.
+	depth := 0
+	start := 0
+	var parts []string
+	for i, r := range s {
+		switch r {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	for _, part := range parts {
+		k, v, found := strings.Cut(strings.TrimSpace(part), "=")
+		if !found {
+			return nil, fmt.Errorf("bad argument %q", part)
+		}
+		a.m[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	}
+	return a, nil
+}
+
+func (a *argMap) setErr(err error) {
+	if a.err == nil {
+		a.err = err
+	}
+}
+
+func (a *argMap) str(key string) string {
+	v, ok := a.m[key]
+	if !ok {
+		a.setErr(fmt.Errorf("missing argument %q", key))
+	}
+	return v
+}
+
+func (a *argMap) int(key string) int {
+	v := a.str(key)
+	n, err := strconv.Atoi(v)
+	if err != nil && a.err == nil {
+		a.setErr(fmt.Errorf("argument %q: %w", key, err))
+	}
+	return n
+}
+
+func (a *argMap) i64(key string) int64 {
+	v := a.str(key)
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil && a.err == nil {
+		a.setErr(fmt.Errorf("argument %q: %w", key, err))
+	}
+	return n
+}
+
+func (a *argMap) boolArg(key string) bool {
+	return a.str(key) == "1" || a.m[key] == "true"
+}
+
+func (a *argMap) i64List(key string) []int64 {
+	v := a.str(key)
+	v = strings.TrimPrefix(v, "[")
+	v = strings.TrimSuffix(v, "]")
+	fields := strings.Fields(v)
+	out := make([]int64, 0, len(fields))
+	for _, f := range fields {
+		n, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			a.setErr(fmt.Errorf("argument %q: %w", key, err))
+			return nil
+		}
+		out = append(out, n)
+	}
+	return out
+}

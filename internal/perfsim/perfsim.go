@@ -1,0 +1,350 @@
+// Package perfsim is the performance simulator: it executes a Schedule as a
+// discrete-time event model and reports end-to-end latency, peak power,
+// energy and resource occupancy.
+//
+// It plays the role of the extended open-source simulator of §4.1 (built on
+// PUMA-sim/NeuroSim/NVSim in the paper; see DESIGN.md's substitution table):
+// operator timings come from the shared cycle model in internal/cost, data
+// dependencies from the graph, and concurrency from the schedule's pipeline
+// and duplication decisions. Peak power is derived from the maximum number
+// of simultaneously activated crossbars, with converter and movement
+// overheads attributed per active crossbar (calibrated to the §4.2
+// 10%/83%/7% decomposition).
+package perfsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cimmlc/internal/cost"
+	"cimmlc/internal/graph"
+	"cimmlc/internal/mapping"
+	"cimmlc/internal/sched"
+)
+
+// OpTiming records one operator's simulated execution interval.
+type OpTiming struct {
+	Node   int
+	Start  float64
+	Finish float64
+	Cost   cost.OpCost
+	// ActiveXBs is the number of crossbars this operator keeps activated
+	// while running (already accounting for duplication, remap and the
+	// staggered-activation pipeline).
+	ActiveXBs float64
+}
+
+// Report is the simulation result.
+type Report struct {
+	// Cycles is the end-to-end latency of one inference.
+	Cycles float64
+	// SegmentCycles is the latency per graph segment (including the weight
+	// reload that precedes segments after the first).
+	SegmentCycles []float64
+	// ReloadCycles is the total inter-segment weight-programming time
+	// included in Cycles.
+	ReloadCycles float64
+	// PerOp maps node ID → timing.
+	PerOp map[int]OpTiming
+	// PeakActiveXBs is the maximum number of simultaneously active
+	// crossbars over the whole run; PeakPower converts it to power units.
+	PeakActiveXBs float64
+	PeakPower     cost.PowerBreakdown
+	// Energy is the total crossbar read + reload energy.
+	Energy float64
+	// CoresUsed is the maximum cores occupied by any segment; XBsUsed the
+	// total crossbars programmed (first round of each operator).
+	CoresUsed int
+	XBsUsed   int
+}
+
+// Simulate runs the schedule through the event model.
+func Simulate(s *sched.Schedule) (*Report, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := cost.New(s.Graph, s.Arch)
+	if err != nil {
+		return nil, err
+	}
+	return SimulateWithModel(s, m)
+}
+
+// SimulateWithModel is Simulate with a pre-built cost model (the optimizers
+// reuse one model across many candidate schedules).
+func SimulateWithModel(s *sched.Schedule, m *cost.Model) (*Report, error) {
+	rep := &Report{PerOp: map[int]OpTiming{}}
+	segStart := 0.0
+	for segIdx, seg := range s.Segments {
+		if segIdx > 0 {
+			reload := segmentReload(s, m)
+			rep.ReloadCycles += reload
+			segStart += reload
+		}
+		segEnd, err := simulateSegment(s, m, seg, segStart, rep)
+		if err != nil {
+			return nil, err
+		}
+		rep.SegmentCycles = append(rep.SegmentCycles, segEnd-segStart)
+		segStart = segEnd
+	}
+	rep.Cycles = segStart
+	rep.PeakActiveXBs = peakConcurrency(rep)
+	rep.PeakPower = cost.PeakPower(s.Arch, rep.PeakActiveXBs)
+	rep.Energy = totalEnergy(s, m, rep)
+	if err := fillOccupancy(s, m, rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// simulateSegment walks one segment in order, computing each operator's
+// start and finish under the pipeline (or strictly serial) discipline, and
+// returns the segment's completion time.
+func simulateSegment(s *sched.Schedule, m *cost.Model, seg []int, segStart float64, rep *Report) (float64, error) {
+	inSeg := map[int]bool{}
+	for _, id := range seg {
+		inSeg[id] = true
+	}
+	end := segStart
+	prevFinish := segStart
+	for _, id := range seg {
+		n := s.Graph.MustNode(id)
+		oc, err := m.Op(id, s.DupOf(id), s.RemapOf(id))
+		if err != nil {
+			return 0, fmt.Errorf("perfsim: node %d: %w", id, err)
+		}
+		start := segStart
+		var lastInput float64
+		for _, in := range n.Inputs {
+			pred := s.Graph.MustNode(in)
+			if pred.Op == graph.OpInput {
+				continue
+			}
+			pt, ok := rep.PerOp[in]
+			if !ok {
+				return 0, fmt.Errorf("perfsim: node %d consumes unsimulated node %d", id, in)
+			}
+			if !inSeg[in] {
+				// Produced by an earlier segment: fully materialized.
+				continue
+			}
+			if s.Pipeline {
+				ready := pt.Start + oc.FirstFrac*(pt.Finish-pt.Start)
+				if ready > start {
+					start = ready
+				}
+			} else if pt.Finish > start {
+				start = pt.Finish
+			}
+			if pt.Finish > lastInput {
+				lastInput = pt.Finish
+			}
+		}
+		if !s.Pipeline {
+			// Strictly layer-serial execution: one operator at a time.
+			if prevFinish > start {
+				start = prevFinish
+			}
+		}
+		run := oc.Run()
+		finish := start + run
+		// An operator cannot emit its last result before its last input has
+		// arrived and been processed for one stage time.
+		if lastInput > 0 && lastInput+oc.PerWindow > finish {
+			finish = lastInput + oc.PerWindow
+		}
+		rep.PerOp[id] = OpTiming{
+			Node:      id,
+			Start:     start,
+			Finish:    finish,
+			Cost:      oc,
+			ActiveXBs: activeXBs(s, m, id),
+		}
+		prevFinish = finish
+		if finish > end {
+			end = finish
+		}
+	}
+	return end, nil
+}
+
+// activeXBs returns the crossbars node keeps concurrently activated. With
+// the staggered MVM pipeline (Figure 12(d)) a crossbar only activates when
+// its input chunk arrives: within a copy one row-stripe is live at a time,
+// and across copies only as many copies as the shared global buffer can
+// feed run concurrently. Without it every tile of every copy fires in
+// lockstep once inputs are buffered — the traditional schedule of [39].
+func activeXBs(s *sched.Schedule, m *cost.Model, node int) float64 {
+	f, ok := m.FPs[node]
+	if !ok {
+		return 0 // digital operators draw ALU power, not crossbar power
+	}
+	remap := s.RemapOf(node)
+	if remap > f.RowGroups {
+		remap = f.RowGroups
+	}
+	dup := s.DupOf(node)
+	if f.Rounds(m.Arch) > 1 {
+		dup, remap = 1, 1
+	}
+	perCopy := float64(f.TilesR * f.TilesC * remap)
+	copies := float64(dup)
+	if s.Stagger {
+		cols := f.TilesC
+		// Column tiles of one row-stripe need not fire in lockstep either:
+		// the time-division activation spreads them at the rate the output
+		// drain (ADC → local/global buffer) sustains, keeping crossbars
+		// dark until their results can leave.
+		if bound := drainableColTiles(s, m, node, dup, remap); bound < cols {
+			cols = bound
+		}
+		perCopy = float64(cols * remap)
+		if f.TilesR == 1 && cols == f.TilesC {
+			perCopy = float64(f.TilesC * remap)
+		}
+		copies = float64(feedableCopies(s, m, node, f.Rows, dup, remap))
+	}
+	total := perCopy * copies
+	chip := float64(m.Arch.TotalCrossbars())
+	if total > chip {
+		total = chip
+	}
+	return total
+}
+
+// drainableColTiles bounds the column tiles of one row-stripe that fire
+// concurrently by how fast the shared buffer drains their outputs: a tile's
+// results occupy (weight columns × ActBits) of bandwidth, and keeping more
+// tiles lit than the drain sustains only burns power.
+func drainableColTiles(s *sched.Schedule, m *cost.Model, node, dup, remap int) int {
+	f := m.FPs[node]
+	bw := m.Arch.Chip.L0BW
+	if bw <= 0 {
+		return f.TilesC
+	}
+	oc, err := m.CIMOp(node, dup, remap)
+	if err != nil {
+		return f.TilesC
+	}
+	wColsPerTile := f.UsableCols / m.Arch.CellsPerWeight()
+	if wColsPerTile <= 0 {
+		return f.TilesC
+	}
+	drainPerTile := float64(wColsPerTile*m.Arch.ActBits) / bw
+	if drainPerTile <= 0 {
+		return f.TilesC
+	}
+	bound := int(oc.Compute/drainPerTile) + 1
+	if bound > f.TilesC {
+		return f.TilesC
+	}
+	if bound < 1 {
+		return 1
+	}
+	return bound
+}
+
+// feedableCopies bounds the concurrently computing copies of an operator by
+// the rate the shared L0 buffer can deliver their input windows: a copy
+// stays active for its compute time, and a new window arrives every
+// inBits/L0BW cycles.
+func feedableCopies(s *sched.Schedule, m *cost.Model, node, rows, dup, remap int) int {
+	bw := m.Arch.Chip.L0BW
+	if bw <= 0 {
+		return dup // ideal buffer feeds everyone
+	}
+	oc, err := m.CIMOp(node, dup, remap)
+	if err != nil {
+		return dup
+	}
+	perWindowIn := float64(rows*m.Arch.ActBits) / bw
+	if perWindowIn <= 0 {
+		return dup
+	}
+	feedable := int(oc.Compute/perWindowIn) + 1
+	if feedable > dup {
+		return dup
+	}
+	if feedable < 1 {
+		return 1
+	}
+	return feedable
+}
+
+// peakConcurrency sweeps the interval timeline for the maximum sum of
+// concurrently active crossbar counts.
+func peakConcurrency(rep *Report) float64 {
+	type event struct {
+		t     float64
+		delta float64
+	}
+	var events []event
+	for _, ot := range rep.PerOp {
+		if ot.ActiveXBs <= 0 || ot.Finish <= ot.Start {
+			continue
+		}
+		events = append(events, event{ot.Start, ot.ActiveXBs}, event{ot.Finish, -ot.ActiveXBs})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].delta < events[j].delta // process departures first
+	})
+	cur, peak := 0.0, 0.0
+	for _, e := range events {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return math.Max(peak, 0)
+}
+
+// totalEnergy sums crossbar read energy over every MVM window plus reload
+// write energy; it is independent of duplication (the same arithmetic is
+// done, just spread wider).
+func totalEnergy(s *sched.Schedule, m *cost.Model, rep *Report) float64 {
+	var total float64
+	perXB := cost.ReadEnergyPerXBWindow(m.Arch)
+	writeE := m.Arch.XB.Device.Profile().WriteEnergy
+	for id, f := range m.FPs {
+		if _, ok := rep.PerOp[id]; !ok {
+			continue
+		}
+		total += float64(f.MVMs) * float64(f.XBsPerCopy) * perXB
+		rounds := f.Rounds(m.Arch)
+		if rounds > 1 {
+			cells := float64(f.Rows) * float64(f.CellCols)
+			total += cells * writeE * float64(rounds-1) / float64(rounds)
+		}
+	}
+	return total
+}
+
+// segmentReload returns the cycles to reprogram the chip between segments:
+// each core has one write port, so its crossbars program serially (wordline
+// by wordline at the device write latency) while cores program in parallel.
+func segmentReload(s *sched.Schedule, m *cost.Model) float64 {
+	perXB := float64(m.Arch.XB.Rows) * m.Arch.XB.Device.Profile().WriteLatency
+	return perXB * float64(m.Arch.Core.XBCount())
+}
+
+// fillOccupancy places the schedule to count cores/crossbars used.
+func fillOccupancy(s *sched.Schedule, m *cost.Model, rep *Report) error {
+	p, err := mapping.Place(s.Graph, s.Arch, m.FPs, s.Dup, s.Remap, s.Segments)
+	if err != nil {
+		return fmt.Errorf("perfsim: placement: %w", err)
+	}
+	for _, c := range p.SegmentCores {
+		if c > rep.CoresUsed {
+			rep.CoresUsed = c
+		}
+	}
+	for seg := range s.Segments {
+		rep.XBsUsed += p.XBsUsed(seg)
+	}
+	return nil
+}

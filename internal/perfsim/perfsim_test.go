@@ -1,0 +1,266 @@
+package perfsim
+
+import (
+	"math"
+	"testing"
+
+	"cimmlc/internal/arch"
+	"cimmlc/internal/graph"
+	"cimmlc/internal/models"
+	"cimmlc/internal/sched"
+)
+
+func toySchedule(t *testing.T) *sched.Schedule {
+	t.Helper()
+	return sched.NewSequential(models.ConvReLU(), arch.ToyExample())
+}
+
+func TestSequentialLatencyIsSumOfOps(t *testing.T) {
+	s := toySchedule(t)
+	rep, err := Simulate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv := rep.PerOp[1]
+	relu := rep.PerOp[2]
+	if conv.Start != 0 {
+		t.Fatalf("conv starts at %v, want 0", conv.Start)
+	}
+	if relu.Start < conv.Finish {
+		t.Fatal("sequential: relu must start after conv finishes")
+	}
+	want := conv.Cost.Run() + relu.Cost.Run()
+	if math.Abs(rep.Cycles-want) > want*0.05 {
+		t.Fatalf("cycles = %v, want ≈%v", rep.Cycles, want)
+	}
+}
+
+func TestPipelineOverlapsOperators(t *testing.T) {
+	seq := toySchedule(t)
+	pipe := toySchedule(t)
+	pipe.Pipeline = true
+	rs, err := Simulate(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Simulate(pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Cycles >= rs.Cycles {
+		t.Fatalf("pipeline %v not faster than sequential %v", rp.Cycles, rs.Cycles)
+	}
+	// The ReLU must start before the conv finishes under pipelining.
+	if rp.PerOp[2].Start >= rp.PerOp[1].Finish {
+		t.Fatal("pipelined relu did not overlap conv")
+	}
+}
+
+func TestDuplicationSpeedsUp(t *testing.T) {
+	base := toySchedule(t)
+	dup := toySchedule(t)
+	dup.Dup[1] = 4
+	rb, err := Simulate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Simulate(dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Cycles >= rb.Cycles {
+		t.Fatalf("dup-4 %v not faster than dup-1 %v", rd.Cycles, rb.Cycles)
+	}
+	// Nearly 4× on the conv itself.
+	ratio := rb.PerOp[1].Cost.Run() / rd.PerOp[1].Cost.Run()
+	if ratio < 3.5 {
+		t.Fatalf("conv speedup = %v, want ≈4", ratio)
+	}
+}
+
+func TestRemapSpeedsUpWLM(t *testing.T) {
+	base := toySchedule(t)
+	remap := toySchedule(t)
+	remap.Remap[1] = 2
+	rb, _ := Simulate(base)
+	rr, err := Simulate(remap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Cycles >= rb.Cycles {
+		t.Fatalf("remap %v not faster than base %v", rr.Cycles, rb.Cycles)
+	}
+}
+
+func TestStaggerCutsPeakPowerNotLatency(t *testing.T) {
+	// Need an op with TilesR > 1: ResNet18 stem on the baseline (2 row
+	// stripes). Use pipeline so ops overlap.
+	g := models.ResNet18()
+	a := arch.ISAACBaseline()
+	plain := sched.NewSequential(g, a)
+	plain.Pipeline = true
+	stag := sched.NewSequential(g, a)
+	stag.Pipeline = true
+	stag.Stagger = true
+	rp, err := Simulate(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Simulate(stag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rs.PeakActiveXBs < rp.PeakActiveXBs) {
+		t.Fatalf("stagger peak %v not below plain %v", rs.PeakActiveXBs, rp.PeakActiveXBs)
+	}
+	if math.Abs(rs.Cycles-rp.Cycles) > rp.Cycles*0.01 {
+		t.Fatalf("stagger changed latency: %v vs %v", rs.Cycles, rp.Cycles)
+	}
+	if rs.PeakPower.Total() >= rp.PeakPower.Total() {
+		t.Fatal("stagger must cut peak power")
+	}
+}
+
+func TestSegmentsAddReload(t *testing.T) {
+	one := toySchedule(t)
+	two := toySchedule(t)
+	two.Segments = [][]int{{1}, {2}}
+	r1, err := Simulate(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Simulate(two)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ReloadCycles <= 0 {
+		t.Fatal("two segments must pay reload")
+	}
+	if len(r2.SegmentCycles) != 2 {
+		t.Fatalf("segment cycles = %v", r2.SegmentCycles)
+	}
+	if r2.Cycles <= r1.Cycles {
+		t.Fatal("segmentation cannot be free")
+	}
+}
+
+func TestReloadCostlierOnReRAM(t *testing.T) {
+	g := models.ConvReLU()
+	mkSched := func(dev arch.Device) *sched.Schedule {
+		a := arch.ToyExample()
+		a.XB.Device = dev
+		s := sched.NewSequential(g, a)
+		s.Segments = [][]int{{1}, {2}}
+		return s
+	}
+	rs, err := Simulate(mkSched(arch.SRAM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Simulate(mkSched(arch.ReRAM))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.ReloadCycles <= rs.ReloadCycles {
+		t.Fatalf("ReRAM reload %v must exceed SRAM %v", rr.ReloadCycles, rs.ReloadCycles)
+	}
+}
+
+func TestPeakPowerGrowsWithDuplication(t *testing.T) {
+	base := toySchedule(t)
+	base.Pipeline = true
+	dup := toySchedule(t)
+	dup.Pipeline = true
+	dup.Dup[1] = 4
+	rb, _ := Simulate(base)
+	rd, _ := Simulate(dup)
+	if rd.PeakActiveXBs <= rb.PeakActiveXBs {
+		t.Fatalf("dup-4 peak %v not above dup-1 %v", rd.PeakActiveXBs, rb.PeakActiveXBs)
+	}
+}
+
+func TestEnergyIndependentOfDuplication(t *testing.T) {
+	base := toySchedule(t)
+	dup := toySchedule(t)
+	dup.Dup[1] = 4
+	rb, _ := Simulate(base)
+	rd, _ := Simulate(dup)
+	if math.Abs(rb.Energy-rd.Energy) > rb.Energy*1e-9 {
+		t.Fatalf("energy changed with duplication: %v vs %v", rb.Energy, rd.Energy)
+	}
+	if rb.Energy <= 0 {
+		t.Fatal("energy must be positive")
+	}
+}
+
+func TestOccupancyReported(t *testing.T) {
+	s := toySchedule(t)
+	s.Dup[1] = 4
+	rep, err := Simulate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CoresUsed != 2 || rep.XBsUsed != 4 {
+		t.Fatalf("cores/xbs = %d/%d, want 2/4", rep.CoresUsed, rep.XBsUsed)
+	}
+}
+
+func TestSimulateRejectsInvalidSchedule(t *testing.T) {
+	s := toySchedule(t)
+	s.Segments = nil
+	if _, err := Simulate(s); err == nil {
+		t.Fatal("accepted invalid schedule")
+	}
+}
+
+func TestSimulateRejectsOverCapacity(t *testing.T) {
+	s := toySchedule(t)
+	s.Dup[1] = 64 // toy has 4 crossbars
+	if _, err := Simulate(s); err == nil {
+		t.Fatal("accepted over-capacity duplication")
+	}
+}
+
+func TestResNetPipelineSpeedupShape(t *testing.T) {
+	// The Figure 21(a) CG-Pipeline effect: pipelining a ResNet on the
+	// baseline should give a clear speedup (paper: 2.3–4.7×).
+	g := models.ResNet18()
+	a := arch.ISAACBaseline()
+	seq := sched.NewSequential(g, a)
+	pipe := sched.NewSequential(g, a)
+	pipe.Pipeline = true
+	rs, err := Simulate(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Simulate(pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := rs.Cycles / rp.Cycles
+	if speedup < 1.5 || speedup > 20 {
+		t.Fatalf("ResNet18 pipeline speedup = %.2f, expected a clear but bounded gain", speedup)
+	}
+}
+
+func TestBranchingGraphTimings(t *testing.T) {
+	// Residual: add must wait for both branches.
+	b := graph.NewBuilder("res", 4, 8, 8)
+	b.Conv(4, 3, 1, 1)
+	conv1 := b.Last
+	b.Conv(4, 3, 1, 1)
+	b.AddFrom(conv1)
+	g := b.MustFinish()
+	a := arch.ISAACBaseline()
+	s := sched.NewSequential(g, a)
+	s.Pipeline = true
+	rep, err := Simulate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := rep.PerOp[3]
+	c2 := rep.PerOp[2]
+	if add.Finish < c2.Finish {
+		t.Fatal("add finished before its producer")
+	}
+}

@@ -1,0 +1,189 @@
+// Package sched defines the scheduling decision record the multi-level
+// optimizers fill in and the simulators consume.
+//
+// A Schedule captures everything CIM-MLC decides about a model on a machine:
+// per-operator duplication (CG-grained, §3.3.2, refined by MVM-grained
+// Equation 1, §3.3.3), WLM remap factors (VVM-grained, §3.3.4), whether
+// inter-operator pipelining and staggered crossbar activation are enabled,
+// and the resource-adaptive graph segmentation.
+package sched
+
+import (
+	"fmt"
+
+	"cimmlc/internal/arch"
+	"cimmlc/internal/graph"
+)
+
+// Schedule is the complete scheduling decision for one (graph, arch) pair.
+type Schedule struct {
+	Graph *graph.Graph
+	Arch  *arch.Arch
+
+	// Dup maps CIM node ID → number of spatially concurrent copies (≥1).
+	// After CG-grained optimization it counts core-granularity copies;
+	// MVM-grained optimization raises it to crossbar-granularity packing
+	// (Equation 1's D′).
+	Dup map[int]int
+
+	// Remap maps CIM node ID → WLM remap factor m (≥1): each row-stripe is
+	// split over m crossbars so m parallel-row groups activate at once.
+	Remap map[int]int
+
+	// Pipeline enables inter-operator pipelining (CG-grained).
+	Pipeline bool
+
+	// Stagger enables the MVM-grained computing pipeline: a copy's
+	// row-stripes activate one after another as their input chunks arrive
+	// instead of all at once (Figure 12), cutting peak power.
+	Stagger bool
+
+	// Segments partitions all non-input node IDs into sequentially executed
+	// segments (resource-adaptive compute graph segmentation, Figure 9(b)).
+	Segments [][]int
+
+	// Levels records which optimization levels produced this schedule
+	// ("CG", "MVM", "VVM"), for reports.
+	Levels []string
+}
+
+// NewSequential returns the unoptimized schedule: every operator once, no
+// pipeline, everything in one segment — the "w/o optimization" baseline of
+// Figure 20(d) — provided the model fits the chip; callers needing
+// segmentation run the CG optimizer instead.
+func NewSequential(g *graph.Graph, a *arch.Arch) *Schedule {
+	var seg []int
+	for _, n := range g.Nodes {
+		if n.Op != graph.OpInput {
+			seg = append(seg, n.ID)
+		}
+	}
+	return &Schedule{
+		Graph:    g,
+		Arch:     a,
+		Dup:      map[int]int{},
+		Remap:    map[int]int{},
+		Segments: [][]int{seg},
+	}
+}
+
+// DupOf returns the duplication of a node (default 1).
+func (s *Schedule) DupOf(node int) int { return valueOr(s.Dup, node, 1) }
+
+// RemapOf returns the remap factor of a node (default 1).
+func (s *Schedule) RemapOf(node int) int { return valueOr(s.Remap, node, 1) }
+
+// SegmentOf returns the segment index containing the node, or -1.
+func (s *Schedule) SegmentOf(node int) int {
+	for i, seg := range s.Segments {
+		for _, id := range seg {
+			if id == node {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// Validate checks the schedule covers every non-input node exactly once, in
+// segment-topological order, with positive dup/remap values.
+func (s *Schedule) Validate() error {
+	if s.Graph == nil || s.Arch == nil {
+		return fmt.Errorf("sched: schedule missing graph or arch")
+	}
+	if len(s.Segments) == 0 {
+		return fmt.Errorf("sched: no segments")
+	}
+	seen := map[int]int{}
+	rank := map[int]int{} // node → (segment, position) flattened rank
+	pos := 0
+	for segIdx, seg := range s.Segments {
+		if len(seg) == 0 {
+			return fmt.Errorf("sched: segment %d is empty", segIdx)
+		}
+		for _, id := range seg {
+			n, err := s.Graph.Node(id)
+			if err != nil {
+				return fmt.Errorf("sched: %w", err)
+			}
+			if n.Op == graph.OpInput {
+				return fmt.Errorf("sched: input node %d must not be scheduled", id)
+			}
+			if prev, ok := seen[id]; ok {
+				return fmt.Errorf("sched: node %d in segments %d and %d", id, prev, segIdx)
+			}
+			seen[id] = segIdx
+			rank[id] = pos
+			pos++
+		}
+	}
+	for _, n := range s.Graph.Nodes {
+		if n.Op == graph.OpInput {
+			continue
+		}
+		if _, ok := seen[n.ID]; !ok {
+			return fmt.Errorf("sched: node %d (%s) not scheduled", n.ID, n.Name)
+		}
+		for _, in := range n.Inputs {
+			if s.Graph.MustNode(in).Op == graph.OpInput {
+				continue
+			}
+			if rank[in] > rank[n.ID] {
+				return fmt.Errorf("sched: node %d scheduled before its input %d", n.ID, in)
+			}
+		}
+	}
+	for id, d := range s.Dup {
+		if d < 1 {
+			return fmt.Errorf("sched: node %d has dup %d", id, d)
+		}
+		if n, err := s.Graph.Node(id); err != nil || !n.Op.CIMSupported() {
+			return fmt.Errorf("sched: dup set on non-CIM node %d", id)
+		}
+	}
+	for id, m := range s.Remap {
+		if m < 1 {
+			return fmt.Errorf("sched: node %d has remap %d", id, m)
+		}
+		if n, err := s.Graph.Node(id); err != nil || !n.Op.CIMSupported() {
+			return fmt.Errorf("sched: remap set on non-CIM node %d", id)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy (Graph and Arch are shared; decision maps are
+// copied) so optimization levels can refine without aliasing.
+func (s *Schedule) Clone() *Schedule {
+	c := &Schedule{
+		Graph:    s.Graph,
+		Arch:     s.Arch,
+		Dup:      map[int]int{},
+		Remap:    map[int]int{},
+		Pipeline: s.Pipeline,
+		Stagger:  s.Stagger,
+	}
+	for k, v := range s.Dup {
+		c.Dup[k] = v
+	}
+	for k, v := range s.Remap {
+		c.Remap[k] = v
+	}
+	for _, seg := range s.Segments {
+		cp := make([]int, len(seg))
+		copy(cp, seg)
+		c.Segments = append(c.Segments, cp)
+	}
+	c.Levels = append(c.Levels, s.Levels...)
+	return c
+}
+
+func valueOr(m map[int]int, key, def int) int {
+	if m == nil {
+		return def
+	}
+	if v, ok := m[key]; ok {
+		return v
+	}
+	return def
+}

@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"testing"
+
+	"cimmlc/internal/arch"
+	"cimmlc/internal/models"
+)
+
+func TestNewSequentialValidates(t *testing.T) {
+	for _, name := range []string{"conv-relu", "lenet5", "resnet18", "vit-tiny"} {
+		g, err := models.Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewSequential(g, arch.ISAACBaseline())
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if s.Pipeline || s.Stagger {
+			t.Errorf("%s: sequential schedule must disable pipelining", name)
+		}
+		if len(s.Segments) != 1 {
+			t.Errorf("%s: sequential schedule must be one segment", name)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	g := models.ConvReLU()
+	s := NewSequential(g, arch.ToyExample())
+	if s.DupOf(1) != 1 || s.RemapOf(1) != 1 {
+		t.Fatal("defaults must be 1")
+	}
+	s.Dup[1] = 3
+	s.Remap[1] = 2
+	if s.DupOf(1) != 3 || s.RemapOf(1) != 2 {
+		t.Fatal("set values not returned")
+	}
+}
+
+func TestSegmentOf(t *testing.T) {
+	g := models.ConvReLU()
+	s := NewSequential(g, arch.ToyExample())
+	if s.SegmentOf(1) != 0 || s.SegmentOf(2) != 0 {
+		t.Fatal("nodes should be in segment 0")
+	}
+	if s.SegmentOf(99) != -1 {
+		t.Fatal("missing node should report -1")
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	g := models.ConvReLU()
+	a := arch.ToyExample()
+	cases := []struct {
+		name string
+		mut  func(*Schedule)
+	}{
+		{"no segments", func(s *Schedule) { s.Segments = nil }},
+		{"empty segment", func(s *Schedule) { s.Segments = [][]int{{}} }},
+		{"input scheduled", func(s *Schedule) { s.Segments = [][]int{{0, 1, 2}} }},
+		{"node missing", func(s *Schedule) { s.Segments = [][]int{{1}} }},
+		{"node twice", func(s *Schedule) { s.Segments = [][]int{{1, 2}, {1}} }},
+		{"bad order", func(s *Schedule) { s.Segments = [][]int{{2, 1}} }},
+		{"bad id", func(s *Schedule) { s.Segments = [][]int{{1, 2, 99}} }},
+		{"dup zero", func(s *Schedule) { s.Dup[1] = 0 }},
+		{"dup on relu", func(s *Schedule) { s.Dup[2] = 2 }},
+		{"remap zero", func(s *Schedule) { s.Remap[1] = 0 }},
+		{"remap on relu", func(s *Schedule) { s.Remap[2] = 2 }},
+		{"nil graph", func(s *Schedule) { s.Graph = nil }},
+	}
+	for _, c := range cases {
+		s := NewSequential(g, a)
+		c.mut(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: not caught", c.name)
+		}
+	}
+}
+
+func TestValidateAllowsCrossSegmentOrder(t *testing.T) {
+	g := models.ConvReLU()
+	s := NewSequential(g, arch.ToyExample())
+	s.Segments = [][]int{{1}, {2}}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := models.ConvReLU()
+	s := NewSequential(g, arch.ToyExample())
+	s.Dup[1] = 2
+	c := s.Clone()
+	c.Dup[1] = 9
+	c.Segments[0][0] = 99
+	c.Pipeline = true
+	if s.Dup[1] != 2 || s.Segments[0][0] == 99 || s.Pipeline {
+		t.Fatal("Clone shares state")
+	}
+}

@@ -1,0 +1,128 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// QuantParams describes a symmetric uniform quantizer mapping float32 values
+// to signed integers of Bits precision: q = clamp(round(x/Scale)).
+//
+// The paper quantizes all weights and activations to 8 bits (§4.1); the
+// functional simulator uses this quantizer both when loading weights into
+// crossbar cells and when streaming activations through DACs.
+type QuantParams struct {
+	Bits  int
+	Scale float32
+}
+
+// MaxQ returns the largest representable magnitude, 2^(Bits-1)-1.
+func (q QuantParams) MaxQ() int32 {
+	return int32(1)<<(q.Bits-1) - 1
+}
+
+// Validate reports whether the parameters are usable.
+func (q QuantParams) Validate() error {
+	if q.Bits < 1 || q.Bits > 31 {
+		return fmt.Errorf("tensor: quant bits must be in [1,31], got %d", q.Bits)
+	}
+	if !(q.Scale > 0) || math.IsInf(float64(q.Scale), 0) {
+		return fmt.Errorf("tensor: quant scale must be positive and finite, got %v", q.Scale)
+	}
+	return nil
+}
+
+// CalibrateQuant chooses a symmetric scale so the max-abs value of t maps to
+// MaxQ. A zero tensor yields scale 1 to stay well-defined.
+func CalibrateQuant(t *Tensor, bits int) QuantParams {
+	maxAbs := float32(0)
+	for _, v := range t.data {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	q := QuantParams{Bits: bits, Scale: 1}
+	if maxAbs > 0 {
+		q.Scale = maxAbs / float32(q.MaxQ())
+	}
+	return q
+}
+
+// Quantize converts t to integers with the given parameters.
+func Quantize(t *Tensor, q QuantParams) ([]int32, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	maxQ := q.MaxQ()
+	out := make([]int32, len(t.data))
+	for i, v := range t.data {
+		r := int32(math.RoundToEven(float64(v / q.Scale)))
+		if r > maxQ {
+			r = maxQ
+		}
+		if r < -maxQ {
+			r = -maxQ
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// Dequantize converts integer values back to float32 with the given scale,
+// writing them into a tensor of the provided shape.
+func Dequantize(vals []int32, q QuantParams, shape ...int) (*Tensor, error) {
+	t := New(shape...)
+	if len(vals) != len(t.data) {
+		return nil, fmt.Errorf("tensor: dequantize length %d does not match shape %v", len(vals), shape)
+	}
+	for i, v := range vals {
+		t.data[i] = float32(v) * q.Scale
+	}
+	return t, nil
+}
+
+// BitSlice decomposes a quantized value into ceil(bits/cellBits) unsigned
+// slices of cellBits each, least-significant slice first, using two's
+// complement over `bits` bits for negatives. SliceCount reports how many
+// slices that is.
+//
+// This is exactly the decomposition a CIM macro performs when spreading an
+// n-bit weight across cells of limited precision (Figure 7's B→XBC binding).
+func BitSlice(v int32, bits, cellBits int) []uint32 {
+	n := SliceCount(bits, cellBits)
+	u := uint32(v) & ((1 << uint(bits)) - 1) // two's complement truncation
+	out := make([]uint32, n)
+	mask := uint32(1<<uint(cellBits)) - 1
+	for i := 0; i < n; i++ {
+		out[i] = u & mask
+		u >>= uint(cellBits)
+	}
+	return out
+}
+
+// SliceCount returns ceil(bits/cellBits).
+func SliceCount(bits, cellBits int) int {
+	if cellBits <= 0 {
+		panic("tensor: cellBits must be positive")
+	}
+	return (bits + cellBits - 1) / cellBits
+}
+
+// FromBitSlices reassembles a two's-complement value of `bits` width from its
+// slices (inverse of BitSlice).
+func FromBitSlices(slices []uint32, bits, cellBits int) int32 {
+	var u uint32
+	for i := len(slices) - 1; i >= 0; i-- {
+		u = (u << uint(cellBits)) | (slices[i] & ((1 << uint(cellBits)) - 1))
+	}
+	u &= (1 << uint(bits)) - 1
+	// Sign-extend.
+	if u&(1<<uint(bits-1)) != 0 {
+		u |= ^uint32(0) << uint(bits)
+	}
+	return int32(u)
+}

@@ -1,0 +1,188 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndLen(t *testing.T) {
+	tt := New(2, 3, 4)
+	if tt.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", tt.Len())
+	}
+	if tt.Rank() != 3 {
+		t.Fatalf("Rank = %d, want 3", tt.Rank())
+	}
+	if tt.Dim(1) != 3 {
+		t.Fatalf("Dim(1) = %d, want 3", tt.Dim(1))
+	}
+}
+
+func TestNewScalar(t *testing.T) {
+	s := New()
+	if s.Len() != 1 || s.Rank() != 0 {
+		t.Fatalf("scalar tensor: len=%d rank=%d", s.Len(), s.Rank())
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with negative dim did not panic")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestFromSliceValidation(t *testing.T) {
+	if _, err := FromSlice([]float32{1, 2, 3}, 2, 2); err == nil {
+		t.Fatal("FromSlice accepted mismatched length")
+	}
+	got, err := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %v, want 3", got.At(1, 0))
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	tt := New(3, 4)
+	tt.Set(7.5, 2, 1)
+	if got := tt.At(2, 1); got != 7.5 {
+		t.Fatalf("At = %v, want 7.5", got)
+	}
+	// Row-major layout: offset 2*4+1 = 9.
+	if tt.Data()[9] != 7.5 {
+		t.Fatalf("row-major offset wrong: %v", tt.Data())
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	tt := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range At did not panic")
+		}
+	}()
+	tt.At(2, 0)
+}
+
+func TestReshape(t *testing.T) {
+	tt := New(2, 6)
+	tt.Iota(1)
+	r, err := tt.Reshape(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.At(2, 3) != 11 {
+		t.Fatalf("reshaped At(2,3) = %v, want 11", r.At(2, 3))
+	}
+	if _, err := tt.Reshape(5, 5); err == nil {
+		t.Fatal("Reshape accepted mismatched element count")
+	}
+	// Reshape is a view: mutation is shared.
+	r.Set(99, 0, 0)
+	if tt.At(0, 0) != 99 {
+		t.Fatal("Reshape did not share storage")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(4)
+	a.Fill(1)
+	b := a.Clone()
+	b.Set(5, 2)
+	if a.At(2) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestMaxAbsDiffAndAllClose(t *testing.T) {
+	a := MustFromSlice([]float32{1, 2, 3}, 3)
+	b := MustFromSlice([]float32{1, 2.5, 3}, 3)
+	d, err := MaxAbsDiff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.5) > 1e-9 {
+		t.Fatalf("MaxAbsDiff = %v, want 0.5", d)
+	}
+	if !AllClose(a, b, 0.5) || AllClose(a, b, 0.4) {
+		t.Fatal("AllClose tolerance behaviour wrong")
+	}
+	c := New(4)
+	if _, err := MaxAbsDiff(a, c); err == nil {
+		t.Fatal("MaxAbsDiff accepted mismatched shapes")
+	}
+}
+
+func TestRandDeterministicAndBounded(t *testing.T) {
+	a := New(1000)
+	b := New(1000)
+	a.Rand(42, 2)
+	b.Rand(42, 2)
+	if !AllClose(a, b, 0) {
+		t.Fatal("Rand with same seed diverged")
+	}
+	for _, v := range a.Data() {
+		if v < -2 || v > 2 {
+			t.Fatalf("Rand value %v outside bound", v)
+		}
+	}
+	c := New(1000)
+	c.Rand(43, 2)
+	if AllClose(a, c, 0) {
+		t.Fatal("Rand with different seeds identical")
+	}
+}
+
+func TestRandZeroSeed(t *testing.T) {
+	a := New(8)
+	a.Rand(0, 1) // must not loop forever or produce all zeros
+	nonzero := false
+	for _, v := range a.Data() {
+		if v != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("Rand(0) produced all zeros")
+	}
+}
+
+func TestSameShapeProperty(t *testing.T) {
+	f := func(dims []uint8) bool {
+		if len(dims) > 4 {
+			dims = dims[:4]
+		}
+		shape := make([]int, len(dims))
+		n := 1
+		for i, d := range dims {
+			shape[i] = int(d%3) + 1
+			n *= shape[i]
+		}
+		if n > 1<<12 {
+			return true
+		}
+		a := New(shape...)
+		b := New(shape...)
+		return SameShape(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	small := MustFromSlice([]float32{1, 2}, 2)
+	if small.String() == "" {
+		t.Fatal("empty String for small tensor")
+	}
+	big := New(100)
+	if big.String() == "" {
+		t.Fatal("empty String for big tensor")
+	}
+}
