@@ -10,25 +10,35 @@
 // a placement of weights onto physical crossbars, a performance report
 // (latency, energy, peak power) and an executable meta-operator flow.
 //
+// The primary entry point is the Compiler: created once per architecture,
+// it owns a pluggable pass pipeline and an LRU artifact cache, and is safe
+// for concurrent use from many goroutines.
+//
 // Quickstart:
 //
 //	g, _ := cimmlc.Model("resnet18")
 //	a, _ := cimmlc.Preset("isaac-baseline")
-//	res, _ := cimmlc.Compile(g, a, cimmlc.Options{})
+//	c, _ := cimmlc.New(a)
+//	res, _ := c.Compile(context.Background(), g)
 //	fmt.Println(res.Report.Cycles)
 //
 // See examples/ for complete programs and DESIGN.md for the architecture of
-// the implementation.
+// the implementation, including the pass-pipeline design and the migration
+// table from the deprecated free functions to the Compiler methods.
 package cimmlc
 
 import (
+	"context"
+
 	"cimmlc/internal/arch"
 	"cimmlc/internal/baseline"
+	"cimmlc/internal/cg"
 	"cimmlc/internal/codegen"
 	"cimmlc/internal/core"
+	"cimmlc/internal/cost"
 	"cimmlc/internal/experiments"
-	"cimmlc/internal/funcsim"
 	"cimmlc/internal/graph"
+	"cimmlc/internal/mapping"
 	"cimmlc/internal/models"
 	"cimmlc/internal/mop"
 	"cimmlc/internal/perfsim"
@@ -49,11 +59,19 @@ type (
 	// Tensor is the dense float32 tensor used for weights and activations.
 	Tensor = tensor.Tensor
 	// Options tunes compilation; the zero value enables the full stack.
+	//
+	// Deprecated: pass functional Options to New instead (WithMaxLevel,
+	// WithoutPipeline, …). Options remains for the deprecated free
+	// functions.
 	Options = core.Options
 	// Result carries the schedule, placement, report and cost model.
 	Result = core.Result
 	// Schedule is the multi-level scheduling decision record.
 	Schedule = sched.Schedule
+	// Placement assigns operator tiles to physical crossbars.
+	Placement = mapping.Placement
+	// CostModel is the shared per-operator cycle/footprint model.
+	CostModel = cost.Model
 	// Report is the performance simulation result.
 	Report = perfsim.Report
 	// Flow is a compiled meta-operator program.
@@ -64,6 +82,15 @@ type (
 	CodegenOptions = codegen.Options
 	// ExperimentTable is a regenerated paper table/figure.
 	ExperimentTable = experiments.Table
+	// Allocator selects the CG duplication-search strategy.
+	Allocator = cg.Allocator
+	// Pass is one pluggable stage of the compilation pipeline; see
+	// WithPass.
+	Pass = core.Pass
+	// PassContext carries one compilation's state through the pipeline.
+	PassContext = core.PassContext
+	// TraceEvent describes one pipeline step; see WithTrace.
+	TraceEvent = core.TraceEvent
 )
 
 // Computing modes.
@@ -73,8 +100,24 @@ const (
 	WLM = arch.WLM
 )
 
+// Duplication-search strategies for WithAllocator.
+const (
+	AllocDP        = cg.AllocDP
+	AllocWaterfill = cg.AllocWaterfill
+)
+
+// Built-in pass names, usable as WithPass anchors.
+const (
+	PassCG       = core.PassCG
+	PassMVM      = core.PassMVM
+	PassVVM      = core.PassVVM
+	PassPlace    = core.PassPlace
+	PassSimulate = core.PassSimulate
+)
+
 // Preset returns a fresh copy of a named preset architecture
 // ("isaac-baseline", "puma", "jia-isscc21", "jain-jssc21", "toy-table2").
+// Names are case-insensitive.
 func Preset(name string) (*Arch, error) { return arch.Preset(name) }
 
 // Presets lists the preset architecture names.
@@ -93,7 +136,7 @@ func DecodeGraph(data []byte) (*Graph, error) { return graph.Decode(data) }
 func EncodeGraph(g *Graph) ([]byte, error) { return graph.Encode(g) }
 
 // Model builds a fresh copy of a named zoo model ("resnet18", "vgg16",
-// "vit-base", …).
+// "vit-base", …). Names are case-insensitive.
 func Model(name string) (*Graph, error) { return models.Build(name) }
 
 // ModelNames lists the model zoo.
@@ -102,13 +145,79 @@ func ModelNames() []string { return models.Names() }
 // Compile runs the multi-level scheduling workflow of Figure 3: CG-grained
 // optimization always, MVM-grained when the target exposes XBM or finer,
 // VVM-grained when it exposes WLM.
+//
+// Deprecated: use New and Compiler.Compile, which add reuse across
+// compilations, caching, cancellation and pluggable passes.
 func Compile(g *Graph, a *Arch, opt Options) (*Result, error) {
-	return core.Compile(g, a, opt)
+	c, err := New(a, legacyOptions(opt)...)
+	if err != nil {
+		return nil, err
+	}
+	return c.Compile(context.Background(), g)
 }
 
 // GenerateFlow lowers a compilation result into its meta-operator flow.
+//
+// Deprecated: use Compiler.Lower.
 func GenerateFlow(g *Graph, a *Arch, res *Result, opt CodegenOptions) (*FlowResult, error) {
-	return codegen.Generate(g, a, res.Schedule, res.Placement, res.Model, opt)
+	c, err := New(a, WithCache(0))
+	if err != nil {
+		return nil, err
+	}
+	return c.Lower(context.Background(), g, res, opt)
+}
+
+// RunFlow executes a generated flow on the functional simulator and returns
+// the per-node output tensors.
+//
+// Deprecated: use Compiler.Run.
+func RunFlow(g *Graph, a *Arch, fr *FlowResult, w Weights, inputs map[int]*Tensor) (map[int]*Tensor, error) {
+	c, err := New(a, WithCache(0))
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(context.Background(), g, fr, w, inputs)
+}
+
+// VerifyFlow checks a generated flow bit-exactly against the quantized
+// reference executor and within floatTol of the float reference.
+//
+// Deprecated: use Compiler.Verify.
+func VerifyFlow(g *Graph, a *Arch, fr *FlowResult, w Weights, inputs map[int]*Tensor, floatTol float64) error {
+	c, err := New(a, WithCache(0))
+	if err != nil {
+		return err
+	}
+	return c.Verify(context.Background(), g, fr, w, inputs, floatTol)
+}
+
+// legacyOptions translates the deprecated Options struct into functional
+// options for the default Compiler the free functions delegate to. The
+// cache is disabled to preserve the one-shot semantics of the old API, and
+// invalid MaxLevel/Allocator values are dropped rather than forwarded — the
+// old implementation silently ignored them, and the deprecated entry points
+// must keep compiling for such callers (New rejects them for new code).
+func legacyOptions(opt Options) []Option {
+	opts := []Option{WithCache(0)}
+	if opt.DisablePipeline {
+		opts = append(opts, WithoutPipeline())
+	}
+	if opt.DisableDuplication {
+		opts = append(opts, WithoutDuplication())
+	}
+	if opt.DisableStagger {
+		opts = append(opts, WithoutStagger())
+	}
+	if opt.DisableRemap {
+		opts = append(opts, WithoutRemap())
+	}
+	if opt.MaxLevel.Valid() {
+		opts = append(opts, WithMaxLevel(opt.MaxLevel))
+	}
+	if opt.Allocator == AllocDP || opt.Allocator == AllocWaterfill {
+		opts = append(opts, WithAllocator(opt.Allocator))
+	}
+	return opts
 }
 
 // ParseFlow reads a flow back from its printed concrete syntax.
@@ -120,18 +229,6 @@ func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
 // RandomWeights returns deterministic pseudo-random weights for a graph.
 func RandomWeights(g *Graph, seed uint64) Weights { return graph.RandomWeights(g, seed) }
 
-// RunFlow executes a generated flow on the functional simulator and returns
-// the per-node output tensors.
-func RunFlow(g *Graph, a *Arch, fr *FlowResult, w Weights, inputs map[int]*Tensor) (map[int]*Tensor, error) {
-	return funcsim.RunFlow(g, a, fr, w, inputs)
-}
-
-// VerifyFlow checks a generated flow bit-exactly against the quantized
-// reference executor and within floatTol of the float reference.
-func VerifyFlow(g *Graph, a *Arch, fr *FlowResult, w Weights, inputs map[int]*Tensor, floatTol float64) error {
-	return funcsim.Verify(g, a, fr, w, inputs, floatTol)
-}
-
 // Simulate runs a schedule through the performance simulator.
 func Simulate(s *Schedule) (*Report, error) { return perfsim.Simulate(s) }
 
@@ -141,7 +238,8 @@ func NoOptSchedule(g *Graph, a *Arch) (*Schedule, error) { return baseline.NoOpt
 // PolySchedule returns the Poly-Schedule [22] comparison schedule.
 func PolySchedule(g *Graph, a *Arch) (*Schedule, error) { return baseline.PolySchedule(g, a) }
 
-// Experiment regenerates a paper table/figure by ID (e.g. "fig21a").
+// Experiment regenerates a paper table/figure by ID (e.g. "fig21a"). IDs
+// are case-insensitive.
 func Experiment(id string) (*ExperimentTable, error) { return experiments.Run(id) }
 
 // ExperimentIDs lists the reproducible tables and figures.

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"cimmlc"
 	"cimmlc/internal/experiments"
 )
 
@@ -22,7 +23,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, id := range experiments.IDs() {
+		for _, id := range cimmlc.ExperimentIDs() {
 			fmt.Println(id)
 		}
 		return
@@ -46,11 +47,11 @@ func main() {
 
 	ids := flag.Args()
 	if len(ids) == 0 {
-		ids = experiments.IDs()
+		ids = cimmlc.ExperimentIDs()
 	}
 	failed := false
 	for _, id := range ids {
-		t, err := experiments.Run(id)
+		t, err := cimmlc.Experiment(id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cimbench: %s: %v\n", id, err)
 			failed = true

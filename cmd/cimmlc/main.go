@@ -11,13 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"strings"
 
 	"cimmlc"
-	"cimmlc/internal/arch"
 )
 
 func main() {
@@ -49,6 +51,9 @@ func main() {
 		return
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	g, err := loadModel(*modelName, *modelFile)
 	if err != nil {
 		fatal(err)
@@ -57,20 +62,33 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt := cimmlc.Options{
-		DisablePipeline:    *noPipe,
-		DisableDuplication: *noDup,
-		DisableStagger:     *noStagger,
-		DisableRemap:       *noRemap,
-		MaxLevel:           arch.Mode(*maxLevel),
+	var opts []cimmlc.Option
+	if *noPipe {
+		opts = append(opts, cimmlc.WithoutPipeline())
 	}
-	res, err := cimmlc.Compile(g, a, opt)
+	if *noDup {
+		opts = append(opts, cimmlc.WithoutDuplication())
+	}
+	if *noStagger {
+		opts = append(opts, cimmlc.WithoutStagger())
+	}
+	if *noRemap {
+		opts = append(opts, cimmlc.WithoutRemap())
+	}
+	if *maxLevel != "" {
+		opts = append(opts, cimmlc.WithMaxLevel(cimmlc.Mode(strings.ToUpper(*maxLevel))))
+	}
+	c, err := cimmlc.New(a, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := c.Compile(ctx, g)
 	if err != nil {
 		fatal(err)
 	}
 	printReport(g, a, res)
 	if *emitFlow {
-		fr, err := cimmlc.GenerateFlow(g, a, res, cimmlc.CodegenOptions{MaxWindowsPerOp: *maxWin})
+		fr, err := c.Lower(ctx, g, res, cimmlc.CodegenOptions{MaxWindowsPerOp: *maxWin})
 		if err != nil {
 			fatal(err)
 		}

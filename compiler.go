@@ -1,0 +1,315 @@
+package cimmlc
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"cimmlc/internal/arch"
+	"cimmlc/internal/codegen"
+	"cimmlc/internal/core"
+	"cimmlc/internal/funcsim"
+	"cimmlc/internal/graph"
+)
+
+// DefaultCacheSize is the artifact-cache capacity a Compiler gets when
+// WithCache is not supplied.
+const DefaultCacheSize = 128
+
+// Compiler compiles computation graphs onto one architecture. It is created
+// once per target with New, holds an immutable snapshot of the architecture,
+// a validated pass pipeline and an LRU artifact cache, and is safe for
+// concurrent use from many goroutines: each Compile call works on a private
+// copy of the input graph, so callers may share Graph values freely.
+type Compiler struct {
+	arch   Arch // immutable snapshot taken at New
+	archFP string
+	opt    core.Options
+	extras []core.Insertion
+	passes []core.Pass
+	trace  func(TraceEvent)
+	optFP  string
+
+	mu      sync.Mutex
+	lru     *list.List // front = most recently used
+	entries map[string]*list.Element
+	cap     int
+	stats   Stats
+}
+
+// Stats reports the compiler's artifact-cache accounting. Hits+Misses is
+// the total number of Compile calls.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+	Capacity  int
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+// Option configures a Compiler at construction time.
+type Option func(*Compiler)
+
+// WithMaxLevel caps optimization at a coarser computing mode than the
+// architecture exposes: CM stops after CG-grained, XBM after MVM-grained.
+func WithMaxLevel(m Mode) Option { return func(c *Compiler) { c.opt.MaxLevel = m } }
+
+// WithoutPipeline disables inter-operator pipelining (CG-grained).
+func WithoutPipeline() Option { return func(c *Compiler) { c.opt.DisablePipeline = true } }
+
+// WithoutDuplication disables operator duplication (CG- and MVM-grained).
+func WithoutDuplication() Option { return func(c *Compiler) { c.opt.DisableDuplication = true } }
+
+// WithoutStagger disables the staggered MVM computing pipeline.
+func WithoutStagger() Option { return func(c *Compiler) { c.opt.DisableStagger = true } }
+
+// WithoutRemap disables VVM-grained wordline remapping.
+func WithoutRemap() Option { return func(c *Compiler) { c.opt.DisableRemap = true } }
+
+// WithAllocator selects the CG duplication-search strategy.
+func WithAllocator(a Allocator) Option { return func(c *Compiler) { c.opt.Allocator = a } }
+
+// WithPass inserts a user pass into the pipeline immediately after the named
+// built-in pass (PassCG, PassMVM, PassVVM, PassPlace or PassSimulate); an
+// empty name inserts after the last optimization pass, before placement.
+// Passes must be deterministic for cache correctness and safe for concurrent
+// Run calls.
+func WithPass(after string, p Pass) Option {
+	return func(c *Compiler) { c.extras = append(c.extras, core.Insertion{After: after, Pass: p}) }
+}
+
+// WithCache sets the artifact-cache capacity in entries; 0 disables caching.
+func WithCache(n int) Option { return func(c *Compiler) { c.cap = n } }
+
+// WithTrace registers a hook invoked once per pipeline step of every
+// compilation (and once with Pass "cache-hit" for memoized results). The
+// hook may be called from many goroutines at once.
+func WithTrace(fn func(TraceEvent)) Option { return func(c *Compiler) { c.trace = fn } }
+
+// New creates a Compiler for one architecture. The architecture is
+// validated and snapshotted: later mutations of a do not affect the
+// compiler. Option errors (unknown pass anchors, invalid MaxLevel) are
+// reported here, not at Compile time.
+func New(a *Arch, opts ...Option) (*Compiler, error) {
+	if a == nil {
+		return nil, fmt.Errorf("cimmlc: New: nil architecture")
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("cimmlc: New: %w", err)
+	}
+	c := &Compiler{arch: *a, cap: DefaultCacheSize}
+	for _, o := range opts {
+		if o != nil {
+			o(c)
+		}
+	}
+	if c.opt.MaxLevel != "" && !c.opt.MaxLevel.Valid() {
+		return nil, fmt.Errorf("cimmlc: New: invalid max level %q (valid: %s, %s, %s)", c.opt.MaxLevel, CM, XBM, WLM)
+	}
+	if c.opt.Allocator != "" && c.opt.Allocator != AllocDP && c.opt.Allocator != AllocWaterfill {
+		return nil, fmt.Errorf("cimmlc: New: unknown allocator %q (valid: %s, %s)", c.opt.Allocator, AllocDP, AllocWaterfill)
+	}
+	passes, err := core.BuildPasses(c.extras)
+	if err != nil {
+		return nil, fmt.Errorf("cimmlc: New: %w", err)
+	}
+	c.passes = passes
+	if c.cap > 0 {
+		data, err := arch.Encode(&c.arch)
+		if err != nil {
+			return nil, fmt.Errorf("cimmlc: New: %w", err)
+		}
+		c.archFP = fingerprint(data)
+		c.optFP = optionFingerprint(c.opt, passes)
+		c.lru = list.New()
+		c.entries = make(map[string]*list.Element)
+	}
+	return c, nil
+}
+
+// Arch returns a copy of the compiler's architecture snapshot.
+func (c *Compiler) Arch() *Arch {
+	a := c.arch
+	return &a
+}
+
+// Stats returns a snapshot of the cache accounting.
+func (c *Compiler) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Capacity = c.cap
+	if c.lru != nil {
+		s.Entries = c.lru.Len()
+	}
+	return s
+}
+
+// Compile runs the multi-level scheduling workflow of Figure 3 on g:
+// CG-grained optimization always, MVM-grained when the target exposes XBM or
+// finer, VVM-grained when it exposes WLM, then placement and performance
+// simulation. ctx is checked between passes and inside the placement and
+// simulation loops. Results are memoized in an LRU cache keyed by (graph
+// fingerprint, arch fingerprint, option set): repeated traffic for the same
+// model returns the same *Result, which callers must treat as read-only.
+func (c *Compiler) Compile(ctx context.Context, g *Graph) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if g == nil {
+		return nil, fmt.Errorf("cimmlc: Compile: nil graph")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	data, err := graph.Encode(g)
+	if err != nil {
+		return nil, fmt.Errorf("cimmlc: Compile: %w", err)
+	}
+	var key string
+	if c.cap > 0 {
+		key = fingerprint(data) + "|" + c.archFP + "|" + c.optFP
+	}
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; c.cap > 0 && ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		res := el.Value.(*cacheEntry).res
+		c.mu.Unlock()
+		if c.trace != nil {
+			c.trace(TraceEvent{Pass: "cache-hit"})
+		}
+		return res, nil
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	// Compile a private copy of the graph (shape inference mutates it), on
+	// a private copy of the architecture, so concurrent callers sharing g
+	// never race and cached results are immune to later caller mutations.
+	gc, err := graph.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("cimmlc: Compile: %w", err)
+	}
+	a := c.arch
+	res, err := core.CompilePasses(ctx, gc, &a, c.opt, c.passes, c.trace)
+	if err != nil {
+		return nil, err
+	}
+
+	if c.cap > 0 {
+		c.mu.Lock()
+		if _, ok := c.entries[key]; !ok {
+			c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, res: res})
+			for c.lru.Len() > c.cap {
+				back := c.lru.Back()
+				c.lru.Remove(back)
+				delete(c.entries, back.Value.(*cacheEntry).key)
+				c.stats.Evictions++
+			}
+		}
+		c.mu.Unlock()
+	}
+	return res, nil
+}
+
+// Lower generates the meta-operator flow for a compilation result — the
+// codegen step of §3.4. It replaces the free function GenerateFlow. Like
+// Compile, it works on a private copy of g (shape inference mutates the
+// graph), so callers may share Graph values across goroutines.
+func (c *Compiler) Lower(ctx context.Context, g *Graph, res *Result, opt CodegenOptions) (*FlowResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil || res == nil {
+		return nil, fmt.Errorf("cimmlc: Lower: nil graph or result")
+	}
+	gc, err := cloneGraph(g)
+	if err != nil {
+		return nil, fmt.Errorf("cimmlc: Lower: %w", err)
+	}
+	a := c.arch
+	return codegen.Generate(gc, &a, res.Schedule, res.Placement, res.Model, opt)
+}
+
+// Run executes a generated flow on the functional simulator and returns the
+// per-node output tensors (keyed by g's node IDs). It replaces the free
+// function RunFlow and, like Compile, leaves g unmutated.
+func (c *Compiler) Run(ctx context.Context, g *Graph, fr *FlowResult, w Weights, inputs map[int]*Tensor) (map[int]*Tensor, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("cimmlc: Run: nil graph")
+	}
+	gc, err := cloneGraph(g)
+	if err != nil {
+		return nil, fmt.Errorf("cimmlc: Run: %w", err)
+	}
+	a := c.arch
+	return funcsim.RunFlow(gc, &a, fr, w, inputs)
+}
+
+// Verify checks a generated flow bit-exactly against the quantized reference
+// executor and within floatTol of the float reference. It replaces the free
+// function VerifyFlow and, like Compile, leaves g unmutated.
+func (c *Compiler) Verify(ctx context.Context, g *Graph, fr *FlowResult, w Weights, inputs map[int]*Tensor, floatTol float64) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if g == nil {
+		return fmt.Errorf("cimmlc: Verify: nil graph")
+	}
+	gc, err := cloneGraph(g)
+	if err != nil {
+		return fmt.Errorf("cimmlc: Verify: %w", err)
+	}
+	a := c.arch
+	return funcsim.Verify(gc, &a, fr, w, inputs, floatTol)
+}
+
+// cloneGraph returns a private, shape-inferred copy of g via the JSON
+// round trip, so the Compiler never writes to caller-owned graphs.
+func cloneGraph(g *Graph) (*Graph, error) {
+	data, err := graph.Encode(g)
+	if err != nil {
+		return nil, err
+	}
+	return graph.Decode(data)
+}
+
+func fingerprint(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// optionFingerprint folds every compilation-affecting setting — including
+// the names of user passes, which may rewrite schedules — into the cache
+// key.
+func optionFingerprint(opt core.Options, passes []core.Pass) string {
+	names := make([]string, len(passes))
+	for i, p := range passes {
+		names[i] = p.Name()
+	}
+	return fmt.Sprintf("p=%t,d=%t,s=%t,r=%t,max=%s,alloc=%s,passes=%v",
+		opt.DisablePipeline, opt.DisableDuplication, opt.DisableStagger, opt.DisableRemap,
+		opt.MaxLevel, opt.Allocator, names)
+}

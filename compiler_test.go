@@ -1,0 +1,560 @@
+package cimmlc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCompilerMatchesLegacy checks the acceptance criterion of the API
+// redesign: New(arch).Compile produces the same Schedule and Report as the
+// legacy free-function path for every preset × several zoo models.
+func TestCompilerMatchesLegacy(t *testing.T) {
+	zoo := []string{"conv-relu", "lenet5", "resnet18"}
+	for _, pname := range Presets() {
+		for _, mname := range zoo {
+			t.Run(pname+"/"+mname, func(t *testing.T) {
+				a, err := Preset(pname)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g1, err := Model(mname)
+				if err != nil {
+					t.Fatal(err)
+				}
+				g2, err := Model(mname)
+				if err != nil {
+					t.Fatal(err)
+				}
+				legacy, legacyErr := Compile(g1, a, Options{})
+				c, err := New(a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, resErr := c.Compile(context.Background(), g2)
+				if (legacyErr != nil) != (resErr != nil) {
+					t.Fatalf("error mismatch: legacy=%v compiler=%v", legacyErr, resErr)
+				}
+				if legacyErr != nil {
+					t.Skipf("model does not compile on this preset: %v", legacyErr)
+				}
+				if !reflect.DeepEqual(legacy.Report, res.Report) {
+					t.Errorf("reports differ: legacy %+v vs compiler %+v", legacy.Report, res.Report)
+				}
+				ls, ns := legacy.Schedule, res.Schedule
+				if !reflect.DeepEqual(ls.Dup, ns.Dup) || !reflect.DeepEqual(ls.Remap, ns.Remap) ||
+					!reflect.DeepEqual(ls.Segments, ns.Segments) || !reflect.DeepEqual(ls.Levels, ns.Levels) ||
+					ls.Pipeline != ns.Pipeline || ls.Stagger != ns.Stagger {
+					t.Errorf("schedules differ:\nlegacy dup=%v remap=%v segs=%v levels=%v pipe=%v stag=%v\nnew    dup=%v remap=%v segs=%v levels=%v pipe=%v stag=%v",
+						ls.Dup, ls.Remap, ls.Segments, ls.Levels, ls.Pipeline, ls.Stagger,
+						ns.Dup, ns.Remap, ns.Segments, ns.Levels, ns.Pipeline, ns.Stagger)
+				}
+				if !reflect.DeepEqual(legacy.Placement.Tiles, res.Placement.Tiles) {
+					t.Errorf("placements differ: %d vs %d tiles", len(legacy.Placement.Tiles), len(res.Placement.Tiles))
+				}
+			})
+		}
+	}
+}
+
+// TestCompilerConcurrent hammers one Compiler from many goroutines sharing
+// the same Graph value; run under -race this verifies the concurrency-safety
+// contract.
+func TestCompilerConcurrent(t *testing.T) {
+	a, err := Preset("toy-table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Model("conv-relu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Model("mlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 16
+	results := make([]*Result, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			in := g
+			if i%4 == 3 {
+				in = g2 // mix a second model into the traffic
+			}
+			results[i], errs[i] = c.Compile(context.Background(), in)
+		}(i)
+	}
+	wg.Wait()
+
+	var ref *Result
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		if i%4 == 3 {
+			continue
+		}
+		if ref == nil {
+			ref = results[i]
+			continue
+		}
+		if !reflect.DeepEqual(ref.Report, results[i].Report) {
+			t.Fatalf("worker %d produced a different report", i)
+		}
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != workers {
+		t.Fatalf("stats account for %d compiles, want %d (%+v)", st.Hits+st.Misses, workers, st)
+	}
+	if st.Misses < 2 || st.Entries < 1 {
+		t.Fatalf("unexpected cache accounting: %+v", st)
+	}
+}
+
+func TestCompilerCache(t *testing.T) {
+	a, err := Preset("toy-table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	g, err := Model("conv-relu")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r1, err := c.Compile(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Compile(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("second identical compile not served from the cache")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Capacity != DefaultCacheSize {
+		t.Fatalf("stats after hit = %+v", st)
+	}
+
+	// A structurally identical graph built separately also hits (the key is
+	// a content fingerprint, not a pointer).
+	g2, err := Model("conv-relu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Compile(ctx, g2); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 2 {
+		t.Fatalf("fingerprint-equal graph missed the cache: %+v", st)
+	}
+
+	// A different model misses.
+	g3, err := Model("mlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Compile(ctx, g3); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Misses != 2 || st.Entries != 2 {
+		t.Fatalf("stats after second model = %+v", st)
+	}
+}
+
+func TestCompilerCacheDisabledAndEviction(t *testing.T) {
+	a, err := Preset("toy-table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	g, err := Model("conv-relu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Model("mlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	off, err := New(a, WithCache(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := off.Compile(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := off.Compile(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 == r2 {
+		t.Fatal("WithCache(0) still memoized")
+	}
+	if st := off.Stats(); st.Hits != 0 || st.Misses != 2 || st.Entries != 0 || st.Capacity != 0 {
+		t.Fatalf("stats with cache off = %+v", st)
+	}
+
+	one, err := New(a, WithCache(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*Graph{g, g2, g} { // g evicted by g2, then recompiled
+		if _, err := one.Compile(ctx, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := one.Stats(); st.Evictions != 2 || st.Misses != 3 || st.Entries != 1 {
+		t.Fatalf("stats with capacity 1 = %+v", st)
+	}
+}
+
+// cancelPass cancels its context the first time it runs, simulating a
+// deadline landing mid-compile.
+type cancelPass struct{ cancel context.CancelFunc }
+
+func (cancelPass) Name() string                              { return "test-cancel" }
+func (cancelPass) Applicable(Mode) bool                      { return true }
+func (p cancelPass) Run(context.Context, *PassContext) error { p.cancel(); return nil }
+
+func TestCompilerContextCancellation(t *testing.T) {
+	a, err := Preset("isaac-baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Model("lenet5")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Already-cancelled context: rejected before any work.
+	c, err := New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Compile(cancelled, g); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled compile returned %v", err)
+	}
+
+	// Cancellation mid-compile: a pass inserted after CG cancels, and the
+	// pipeline stops before the MVM phase.
+	ctx, cancelMid := context.WithCancel(context.Background())
+	defer cancelMid()
+	mid, err := New(a, WithPass(PassCG, cancelPass{cancel: cancelMid}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = mid.Compile(ctx, g)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-compile cancellation returned %v", err)
+	}
+	if !strings.Contains(err.Error(), PassMVM) {
+		t.Fatalf("expected cancellation before %s, got: %v", PassMVM, err)
+	}
+}
+
+// observerPass records the schedule state it sees, to verify user passes
+// run at their declared slot between the built-in phases.
+type observerPass struct {
+	mu     sync.Mutex
+	levels [][]string
+}
+
+func (*observerPass) Name() string         { return "test-observe" }
+func (*observerPass) Applicable(Mode) bool { return true }
+func (p *observerPass) Run(_ context.Context, pc *PassContext) error {
+	if pc.Schedule == nil {
+		return fmt.Errorf("no schedule at observation point")
+	}
+	p.mu.Lock()
+	p.levels = append(p.levels, append([]string(nil), pc.Schedule.Levels...))
+	p.mu.Unlock()
+	return nil
+}
+
+func TestCompilerCustomPassBetweenMVMAndVVM(t *testing.T) {
+	a, err := Preset("isaac-baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Model("lenet5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &observerPass{}
+	c, err := New(a, WithPass(PassMVM, obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Compile(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.levels) != 1 || !reflect.DeepEqual(obs.levels[0], []string{"CG", "MVM"}) {
+		t.Fatalf("observer saw levels %v, want one observation of [CG MVM]", obs.levels)
+	}
+	if !reflect.DeepEqual(res.Schedule.Levels, []string{"CG", "MVM", "VVM"}) {
+		t.Fatalf("final levels = %v", res.Schedule.Levels)
+	}
+
+	// The observer must not run again on a cache hit.
+	if _, err := c.Compile(context.Background(), g); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.levels) != 1 {
+		t.Fatalf("custom pass ran %d times despite cache hit", len(obs.levels))
+	}
+}
+
+func TestCompilerOptionValidation(t *testing.T) {
+	a, err := Preset("toy-table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(nil); err == nil {
+		t.Fatal("accepted nil arch")
+	}
+	if _, err := New(a, WithMaxLevel("bogus")); err == nil {
+		t.Fatal("accepted invalid max level")
+	}
+	if _, err := New(a, WithAllocator("waterfil")); err == nil {
+		t.Fatal("accepted unknown allocator")
+	}
+	if _, err := New(a, WithAllocator(AllocWaterfill)); err != nil {
+		t.Fatalf("rejected valid allocator: %v", err)
+	}
+	if _, err := New(a, WithPass("no-such-pass", &observerPass{})); err == nil {
+		t.Fatal("accepted unknown pass anchor")
+	}
+	if _, err := New(a, WithPass("", nil)); err == nil {
+		t.Fatal("accepted nil pass")
+	}
+	if _, err := New(a, WithPass("", shadowPass{})); err == nil {
+		t.Fatal("accepted pass shadowing a built-in name")
+	}
+}
+
+// TestDeprecatedWrapperTolerance pins the compatibility contract of the
+// deprecated free functions: invalid Options values the old implementation
+// silently ignored must still compile (New rejects them for new code), and
+// nil graphs error instead of panicking across the Compiler surface.
+func TestDeprecatedWrapperTolerance(t *testing.T) {
+	a, err := Preset("puma")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Model("lenet5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compile(g, a, Options{MaxLevel: "xbm", Allocator: "greedy"})
+	if err != nil {
+		t.Fatalf("deprecated Compile rejected legacy-tolerated options: %v", err)
+	}
+	if res.Report.Cycles <= 0 {
+		t.Fatal("no latency")
+	}
+
+	c, err := New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := c.Compile(ctx, nil); err == nil {
+		t.Fatal("Compile accepted nil graph")
+	}
+	if _, err := c.Lower(ctx, nil, res, CodegenOptions{}); err == nil {
+		t.Fatal("Lower accepted nil graph")
+	}
+	if _, err := c.Run(ctx, nil, nil, nil, nil); err == nil {
+		t.Fatal("Run accepted nil graph")
+	}
+	if err := c.Verify(ctx, nil, nil, nil, nil, 0); err == nil {
+		t.Fatal("Verify accepted nil graph")
+	}
+}
+
+type shadowPass struct{}
+
+func (shadowPass) Name() string                            { return PassCG }
+func (shadowPass) Applicable(Mode) bool                    { return true }
+func (shadowPass) Run(context.Context, *PassContext) error { return nil }
+
+// TestCompilerEndToEnd drives the full Compiler surface — Compile, Lower,
+// Verify, Run — as the quickstart does through the deprecated wrappers.
+func TestCompilerEndToEnd(t *testing.T) {
+	a, err := Preset("toy-table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	g, err := Model("conv-relu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Compile(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := c.Lower(ctx, g, res, CodegenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := RandomWeights(g, 1)
+	in := NewTensor(3, 32, 32)
+	in.Rand(2, 1)
+	if err := c.Verify(ctx, g, fr, w, map[int]*Tensor{0: in}, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	outs, err := c.Run(ctx, g, fr, w, map[int]*Tensor{0: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[g.Outputs()[0]].Len() != 32*32*32 {
+		t.Fatal("wrong output size")
+	}
+}
+
+// TestCompilerLowerRunConcurrent drives the whole Compile → Lower → Run
+// surface from goroutines sharing one Graph value; under -race this verifies
+// that no Compiler method writes to caller-owned graphs.
+func TestCompilerLowerRunConcurrent(t *testing.T) {
+	a, err := Preset("toy-table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Model("conv-relu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	res, err := c.Compile(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := RandomWeights(g, 1)
+	in := NewTensor(3, 32, 32)
+	in.Rand(2, 1)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i == 0 {
+				_, errs[i] = c.Compile(ctx, g)
+				return
+			}
+			fr, err := c.Lower(ctx, g, res, CodegenOptions{})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			_, errs[i] = c.Run(ctx, g, fr, w, map[int]*Tensor{0: in})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+}
+
+func TestLookupErrorsAndCaseInsensitivity(t *testing.T) {
+	if _, err := Preset("ISAAC-Baseline"); err != nil {
+		t.Fatalf("case-insensitive preset lookup failed: %v", err)
+	}
+	if _, err := Model("ResNet18"); err != nil {
+		t.Fatalf("case-insensitive model lookup failed: %v", err)
+	}
+	if _, err := Experiment("FIG16"); err != nil {
+		t.Fatalf("case-insensitive experiment lookup failed: %v", err)
+	}
+	for _, tc := range []struct {
+		name string
+		err  error
+	}{
+		{"preset", func() error { _, err := Preset("nope"); return err }()},
+		{"model", func() error { _, err := Model("nope"); return err }()},
+		{"experiment", func() error { _, err := Experiment("nope"); return err }()},
+	} {
+		if tc.err == nil {
+			t.Fatalf("%s lookup accepted unknown name", tc.name)
+		}
+		if !strings.Contains(tc.err.Error(), `"nope"`) || !strings.Contains(tc.err.Error(), "available:") {
+			t.Fatalf("%s lookup error not actionable: %v", tc.name, tc.err)
+		}
+	}
+}
+
+func TestCompilerTrace(t *testing.T) {
+	a, err := Preset("jia-isscc21") // CM: MVM and VVM passes are skipped
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var ran, skipped []string
+	c, err := New(a, WithTrace(func(ev TraceEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		if ev.Skipped {
+			skipped = append(skipped, ev.Pass)
+		} else {
+			ran = append(ran, ev.Pass)
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Model("lenet5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Compile(context.Background(), g); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ran, []string{PassCG, PassPlace, PassSimulate}) {
+		t.Fatalf("ran = %v", ran)
+	}
+	if !reflect.DeepEqual(skipped, []string{PassMVM, PassVVM}) {
+		t.Fatalf("skipped = %v", skipped)
+	}
+	if _, err := c.Compile(context.Background(), g); err != nil {
+		t.Fatal(err)
+	}
+	if ran[len(ran)-1] != "cache-hit" {
+		t.Fatalf("cache hit not traced: %v", ran)
+	}
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -59,7 +60,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := cimmlc.Compile(g, custom, cimmlc.Options{})
+	ctx := context.Background()
+	c, err := cimmlc.New(custom)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.Compile(ctx, g)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,7 +74,7 @@ func main() {
 		g.Name, res.Schedule.Levels, len(res.Schedule.Segments), r.Cycles, r.PeakPower.Total())
 
 	// Generate and execute the flow, verifying numerics end to end.
-	flow, err := cimmlc.GenerateFlow(g, custom, res, cimmlc.CodegenOptions{})
+	flow, err := c.Lower(ctx, g, res, cimmlc.CodegenOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,12 +84,12 @@ func main() {
 	weights := cimmlc.RandomWeights(g, 99)
 	in := cimmlc.NewTensor(1, 28, 28)
 	in.Rand(100, 1)
-	if err := cimmlc.VerifyFlow(g, custom, flow, weights, map[int]*cimmlc.Tensor{0: in}, 0.15); err != nil {
+	if err := c.Verify(ctx, g, flow, weights, map[int]*cimmlc.Tensor{0: in}, 0.15); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("flow verified bit-exactly against the quantized reference")
 
-	outs, err := cimmlc.RunFlow(g, custom, flow, weights, map[int]*cimmlc.Tensor{0: in})
+	outs, err := c.Run(ctx, g, flow, weights, map[int]*cimmlc.Tensor{0: in})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,11 +1,15 @@
 // Quickstart: the §3.4 walkthrough of the paper. Compiles the Conv-ReLU
 // micro-network onto the Table-2 toy machine under all three computing
-// modes, prints the head of each generated meta-operator flow (Figure 16
-// c/d/e), executes the complete flow on the functional simulator and
-// verifies it bit-exactly against the quantized reference.
+// modes using the Compiler API, prints the head of each generated
+// meta-operator flow (Figure 16 c/d/e), executes the complete flow on the
+// functional simulator and verifies it bit-exactly against the quantized
+// reference. A second Compile of the same graph is served from the
+// compiler's artifact cache, and a trace hook shows which pipeline passes
+// ran.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -14,6 +18,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	g, err := cimmlc.Model("conv-relu")
 	if err != nil {
 		log.Fatal(err)
@@ -29,11 +34,21 @@ func main() {
 		}
 		a.Mode = mode
 
-		res, err := cimmlc.Compile(g, a, cimmlc.Options{})
+		var ran []string
+		c, err := cimmlc.New(a, cimmlc.WithTrace(func(ev cimmlc.TraceEvent) {
+			if !ev.Skipped {
+				ran = append(ran, ev.Pass)
+			}
+		}))
 		if err != nil {
 			log.Fatal(err)
 		}
-		flow, err := cimmlc.GenerateFlow(g, a, res, cimmlc.CodegenOptions{})
+
+		res, err := c.Compile(ctx, g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		flow, err := c.Lower(ctx, g, res, cimmlc.CodegenOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -41,14 +56,21 @@ func main() {
 		fmt.Printf("===== %s mode =====\n", mode)
 		fmt.Printf("levels %v, latency %.0f cycles, %d crossbars programmed\n",
 			res.Schedule.Levels, res.Report.Cycles, res.Report.XBsUsed)
+		fmt.Printf("passes: %s\n", strings.Join(ran, " → "))
 		fmt.Println(head(flow.Flow.Print(), 14))
 
 		// Bit-exact against the quantized reference, within 5% of float.
-		if err := cimmlc.VerifyFlow(g, a, flow, weights, map[int]*cimmlc.Tensor{0: in}, 0.05); err != nil {
+		if err := c.Verify(ctx, g, flow, weights, map[int]*cimmlc.Tensor{0: in}, 0.05); err != nil {
 			log.Fatalf("%s flow failed verification: %v", mode, err)
 		}
 		fmt.Println("flow verified: bit-exact vs quantized reference")
-		fmt.Println()
+
+		// Repeated traffic for the same model is memoized.
+		if _, err := c.Compile(ctx, g); err != nil {
+			log.Fatal(err)
+		}
+		st := c.Stats()
+		fmt.Printf("cache: %d hit, %d miss, %d entries\n\n", st.Hits, st.Misses, st.Entries)
 	}
 }
 

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,18 +34,23 @@ func main() {
 	}
 	fmt.Printf("%-28s %12.0f cycles  %8.1f peak power\n", "w/o optimization", base.Cycles, base.PeakPower.Total())
 
+	ctx := context.Background()
 	steps := []struct {
 		label string
-		opt   cimmlc.Options
+		opts  []cimmlc.Option
 	}{
-		{"CG pipeline only", cimmlc.Options{MaxLevel: cimmlc.CM, DisableDuplication: true}},
-		{"CG duplication only", cimmlc.Options{MaxLevel: cimmlc.CM, DisablePipeline: true}},
-		{"CG pipeline + duplication", cimmlc.Options{MaxLevel: cimmlc.CM}},
-		{"CG + MVM (Eq.1 + stagger)", cimmlc.Options{MaxLevel: cimmlc.XBM}},
-		{"CG + MVM + VVM (full)", cimmlc.Options{}},
+		{"CG pipeline only", []cimmlc.Option{cimmlc.WithMaxLevel(cimmlc.CM), cimmlc.WithoutDuplication()}},
+		{"CG duplication only", []cimmlc.Option{cimmlc.WithMaxLevel(cimmlc.CM), cimmlc.WithoutPipeline()}},
+		{"CG pipeline + duplication", []cimmlc.Option{cimmlc.WithMaxLevel(cimmlc.CM)}},
+		{"CG + MVM (Eq.1 + stagger)", []cimmlc.Option{cimmlc.WithMaxLevel(cimmlc.XBM)}},
+		{"CG + MVM + VVM (full)", nil},
 	}
 	for _, st := range steps {
-		res, err := cimmlc.Compile(g, a, st.opt)
+		c, err := cimmlc.New(a, st.opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := c.Compile(ctx, g)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -68,7 +74,11 @@ func main() {
 }
 
 func mustCycles(g *cimmlc.Graph, a *cimmlc.Arch) float64 {
-	res, err := cimmlc.Compile(g, a, cimmlc.Options{})
+	c, err := cimmlc.New(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.Compile(context.Background(), g)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -55,7 +56,11 @@ func report(label string, g *cimmlc.Graph, a *cimmlc.Arch) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := cimmlc.Compile(g, a, cimmlc.Options{})
+	c, err := cimmlc.New(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.Compile(context.Background(), g)
 	if err != nil {
 		log.Fatal(err)
 	}

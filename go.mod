@@ -1,0 +1,3 @@
+module cimmlc
+
+go 1.24

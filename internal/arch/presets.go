@@ -3,6 +3,7 @@ package arch
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // ISAACBaseline returns the paper's CIM architecture baseline (Table 3),
@@ -156,11 +157,15 @@ var presetFns = map[string]func() *Arch{
 	"toy-table2":     ToyExample,
 }
 
-// Preset returns a fresh copy of the named preset architecture.
+// Preset returns a fresh copy of the named preset architecture. Names are
+// case-insensitive.
 func Preset(name string) (*Arch, error) {
 	fn, ok := presetFns[name]
 	if !ok {
-		return nil, fmt.Errorf("arch: unknown preset %q (have %v)", name, PresetNames())
+		fn, ok = presetFns[strings.ToLower(name)]
+	}
+	if !ok {
+		return nil, fmt.Errorf("arch: unknown preset %q (available: %s)", name, strings.Join(PresetNames(), ", "))
 	}
 	return fn(), nil
 }

@@ -1,12 +1,13 @@
 // Package core is the CIM-MLC compiler driver: the multi-level scheduling
-// workflow of Figure 3. Given a computation graph and a hardware
-// abstraction, it applies CG-grained optimization always, MVM-grained
-// optimization when the architecture exposes XBM or finer, and VVM-grained
-// optimization when it exposes WLM — then places the result, simulates it,
-// and (optionally) generates the meta-operator flow.
+// workflow of Figure 3, organized as a pipeline of passes over a shared
+// PassContext. CG-grained optimization always applies, MVM-grained applies
+// when the architecture exposes XBM or finer, VVM-grained when it exposes
+// WLM; placement and performance simulation follow. User passes registered
+// via Insertion slot in between the built-ins.
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"cimmlc/internal/arch"
@@ -14,10 +15,8 @@ import (
 	"cimmlc/internal/cost"
 	"cimmlc/internal/graph"
 	"cimmlc/internal/mapping"
-	"cimmlc/internal/mvm"
 	"cimmlc/internal/perfsim"
 	"cimmlc/internal/sched"
-	"cimmlc/internal/vvm"
 )
 
 // Options tunes the compilation. The zero value enables every optimization
@@ -47,6 +46,24 @@ type Result struct {
 
 // Compile runs the multi-level scheduling workflow.
 func Compile(g *graph.Graph, a *arch.Arch, opt Options) (*Result, error) {
+	return CompileCtx(context.Background(), g, a, opt)
+}
+
+// CompileCtx is Compile with cancellation: ctx is checked between passes and
+// inside the placement and simulation loops.
+func CompileCtx(ctx context.Context, g *graph.Graph, a *arch.Arch, opt Options) (*Result, error) {
+	passes, err := BuildPasses(nil)
+	if err != nil {
+		return nil, err
+	}
+	return CompilePasses(ctx, g, a, opt, passes, nil)
+}
+
+// CompilePasses runs a prebuilt pipeline (see BuildPasses) over a fresh
+// PassContext, reporting each step to trace (which may be nil). It is the
+// entry point the public Compiler uses so one validated pipeline can be
+// shared by many concurrent compilations.
+func CompilePasses(ctx context.Context, g *graph.Graph, a *arch.Arch, opt Options, passes []Pass, trace func(TraceEvent)) (*Result, error) {
 	if err := a.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -63,45 +80,9 @@ func Compile(g *graph.Graph, a *arch.Arch, opt Options) (*Result, error) {
 		level = opt.MaxLevel
 	}
 
-	// CG-grained optimization (always, §3.3.2).
-	s, err := cg.Optimize(g, a, m, cg.Options{
-		Pipeline:  !opt.DisablePipeline,
-		Duplicate: !opt.DisableDuplication,
-		Allocator: opt.Allocator,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: CG-grained optimization: %w", err)
+	pc := &PassContext{Graph: g, Arch: a, Opt: opt, Level: level, Model: m}
+	if err := RunPasses(ctx, passes, pc, trace); err != nil {
+		return nil, err
 	}
-
-	// MVM-grained optimization (XBM and WLM, §3.3.3).
-	if level.AtLeast(arch.XBM) {
-		s, err = mvm.Optimize(s, m, mvm.Options{
-			Duplicate: !opt.DisableDuplication,
-			Stagger:   !opt.DisableStagger,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("core: MVM-grained optimization: %w", err)
-		}
-	}
-
-	// VVM-grained optimization (WLM only, §3.3.4).
-	if level.AtLeast(arch.WLM) {
-		s, err = vvm.Optimize(s, m, vvm.Options{Remap: !opt.DisableRemap})
-		if err != nil {
-			return nil, fmt.Errorf("core: VVM-grained optimization: %w", err)
-		}
-	}
-
-	p, err := mapping.Place(g, a, m.FPs, s.Dup, s.Remap, s.Segments)
-	if err != nil {
-		return nil, fmt.Errorf("core: placement: %w", err)
-	}
-	if err := p.Validate(g, m.FPs); err != nil {
-		return nil, fmt.Errorf("core: placement validation: %w", err)
-	}
-	rep, err := perfsim.SimulateWithModel(s, m)
-	if err != nil {
-		return nil, fmt.Errorf("core: simulation: %w", err)
-	}
-	return &Result{Schedule: s, Placement: p, Report: rep, Model: m}, nil
+	return &Result{Schedule: pc.Schedule, Placement: pc.Placement, Report: pc.Report, Model: m}, nil
 }

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"cimmlc/internal/arch"
+)
+
+type namedPass struct {
+	name string
+	log  *[]string
+}
+
+func (p namedPass) Name() string              { return p.name }
+func (p namedPass) Applicable(arch.Mode) bool { return true }
+func (p namedPass) Run(ctx context.Context, pc *PassContext) error {
+	*p.log = append(*p.log, p.name)
+	return nil
+}
+
+func TestBuildPassesInsertionOrder(t *testing.T) {
+	var log []string
+	passes, err := BuildPasses([]Insertion{
+		{After: PassCG, Pass: namedPass{"after-cg-1", &log}},
+		{After: "", Pass: namedPass{"pre-place", &log}},
+		{After: PassCG, Pass: namedPass{"after-cg-2", &log}},
+		{After: PassSimulate, Pass: namedPass{"post-sim", &log}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		PassCG, "after-cg-1", "after-cg-2",
+		PassMVM,
+		PassVVM, "pre-place",
+		PassPlace,
+		PassSimulate, "post-sim",
+	}
+	if len(passes) != len(want) {
+		t.Fatalf("pipeline has %d passes, want %d", len(passes), len(want))
+	}
+	for i, p := range passes {
+		if p.Name() != want[i] {
+			t.Fatalf("pass %d = %s, want %s (pipeline %v)", i, p.Name(), want[i], names(passes))
+		}
+	}
+}
+
+func TestBuildPassesRejectsBadInsertions(t *testing.T) {
+	var log []string
+	if _, err := BuildPasses([]Insertion{{After: "nope", Pass: namedPass{"x", &log}}}); err == nil {
+		t.Fatal("accepted unknown anchor")
+	}
+	if _, err := BuildPasses([]Insertion{{After: PassCG, Pass: nil}}); err == nil {
+		t.Fatal("accepted nil pass")
+	}
+	if _, err := BuildPasses([]Insertion{{After: PassCG, Pass: namedPass{PassMVM, &log}}}); err == nil {
+		t.Fatal("accepted pass shadowing a built-in name")
+	}
+}
+
+func names(passes []Pass) []string {
+	out := make([]string, len(passes))
+	for i, p := range passes {
+		out[i] = p.Name()
+	}
+	return out
+}

@@ -61,14 +61,14 @@ type Runner func() (*Table, error)
 var registry = map[string]Runner{}
 
 func register(id string, fn Runner) {
-	registry[id] = fn
+	registry[strings.ToLower(id)] = fn
 }
 
-// Run executes the experiment with the given ID.
+// Run executes the experiment with the given ID. IDs are case-insensitive.
 func Run(id string) (*Table, error) {
-	fn, ok := registry[id]
+	fn, ok := registry[strings.ToLower(id)]
 	if !ok {
-		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+		return nil, fmt.Errorf("experiments: unknown experiment %q (available: %s)", id, strings.Join(IDs(), ", "))
 	}
 	return fn()
 }

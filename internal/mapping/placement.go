@@ -1,6 +1,7 @@
 package mapping
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -50,6 +51,12 @@ type Placement struct {
 // factor (≥1, default 1). segments lists the node IDs of each sequentially
 // executed graph segment; CIM nodes absent from every segment are an error.
 func Place(g *graph.Graph, a *arch.Arch, fps map[int]Footprint, dup, remap map[int]int, segments [][]int) (*Placement, error) {
+	return PlaceCtx(context.Background(), g, a, fps, dup, remap, segments)
+}
+
+// PlaceCtx is Place with cancellation: ctx is checked once per node so a
+// cancelled compilation stops mid-placement on large graphs.
+func PlaceCtx(ctx context.Context, g *graph.Graph, a *arch.Arch, fps map[int]Footprint, dup, remap map[int]int, segments [][]int) (*Placement, error) {
 	if len(segments) == 0 {
 		return nil, fmt.Errorf("mapping: no segments to place")
 	}
@@ -62,6 +69,9 @@ func Place(g *graph.Graph, a *arch.Arch, fps map[int]Footprint, dup, remap map[i
 	for segIdx, seg := range segments {
 		nextCore := 0
 		for _, id := range seg {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("mapping: cancelled: %w", err)
+			}
 			n := g.MustNode(id)
 			if !n.Op.CIMSupported() {
 				continue

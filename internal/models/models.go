@@ -9,6 +9,7 @@ package models
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"cimmlc/internal/graph"
 )
@@ -241,11 +242,15 @@ var zoo = map[string]func() *graph.Graph{
 	"vit-base":  ViTBase,
 }
 
-// Build returns a fresh copy of the named model graph.
+// Build returns a fresh copy of the named model graph. Names are
+// case-insensitive.
 func Build(name string) (*graph.Graph, error) {
 	fn, ok := zoo[name]
 	if !ok {
-		return nil, fmt.Errorf("models: unknown model %q (have %v)", name, Names())
+		fn, ok = zoo[strings.ToLower(name)]
+	}
+	if !ok {
+		return nil, fmt.Errorf("models: unknown model %q (available: %s)", name, strings.Join(Names(), ", "))
 	}
 	return fn(), nil
 }

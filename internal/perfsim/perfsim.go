@@ -13,6 +13,7 @@
 package perfsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -61,6 +62,11 @@ type Report struct {
 
 // Simulate runs the schedule through the event model.
 func Simulate(s *sched.Schedule) (*Report, error) {
+	return SimulateCtx(context.Background(), s)
+}
+
+// SimulateCtx is Simulate with cancellation.
+func SimulateCtx(ctx context.Context, s *sched.Schedule) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -68,12 +74,19 @@ func Simulate(s *sched.Schedule) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return SimulateWithModel(s, m)
+	return SimulateWithModelCtx(ctx, s, m)
 }
 
 // SimulateWithModel is Simulate with a pre-built cost model (the optimizers
 // reuse one model across many candidate schedules).
 func SimulateWithModel(s *sched.Schedule, m *cost.Model) (*Report, error) {
+	return SimulateWithModelCtx(context.Background(), s, m)
+}
+
+// SimulateWithModelCtx is SimulateWithModel with cancellation: ctx is
+// checked once per simulated operator so a cancelled compilation stops
+// mid-simulation on large schedules.
+func SimulateWithModelCtx(ctx context.Context, s *sched.Schedule, m *cost.Model) (*Report, error) {
 	rep := &Report{PerOp: map[int]OpTiming{}}
 	segStart := 0.0
 	for segIdx, seg := range s.Segments {
@@ -82,7 +95,7 @@ func SimulateWithModel(s *sched.Schedule, m *cost.Model) (*Report, error) {
 			rep.ReloadCycles += reload
 			segStart += reload
 		}
-		segEnd, err := simulateSegment(s, m, seg, segStart, rep)
+		segEnd, err := simulateSegment(ctx, s, m, seg, segStart, rep)
 		if err != nil {
 			return nil, err
 		}
@@ -93,7 +106,7 @@ func SimulateWithModel(s *sched.Schedule, m *cost.Model) (*Report, error) {
 	rep.PeakActiveXBs = peakConcurrency(rep)
 	rep.PeakPower = cost.PeakPower(s.Arch, rep.PeakActiveXBs)
 	rep.Energy = totalEnergy(s, m, rep)
-	if err := fillOccupancy(s, m, rep); err != nil {
+	if err := fillOccupancy(ctx, s, m, rep); err != nil {
 		return nil, err
 	}
 	return rep, nil
@@ -102,7 +115,7 @@ func SimulateWithModel(s *sched.Schedule, m *cost.Model) (*Report, error) {
 // simulateSegment walks one segment in order, computing each operator's
 // start and finish under the pipeline (or strictly serial) discipline, and
 // returns the segment's completion time.
-func simulateSegment(s *sched.Schedule, m *cost.Model, seg []int, segStart float64, rep *Report) (float64, error) {
+func simulateSegment(ctx context.Context, s *sched.Schedule, m *cost.Model, seg []int, segStart float64, rep *Report) (float64, error) {
 	inSeg := map[int]bool{}
 	for _, id := range seg {
 		inSeg[id] = true
@@ -110,6 +123,9 @@ func simulateSegment(s *sched.Schedule, m *cost.Model, seg []int, segStart float
 	end := segStart
 	prevFinish := segStart
 	for _, id := range seg {
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("perfsim: cancelled: %w", err)
+		}
 		n := s.Graph.MustNode(id)
 		oc, err := m.Op(id, s.DupOf(id), s.RemapOf(id))
 		if err != nil {
@@ -305,12 +321,19 @@ func peakConcurrency(rep *Report) float64 {
 
 // totalEnergy sums crossbar read energy over every MVM window plus reload
 // write energy; it is independent of duplication (the same arithmetic is
-// done, just spread wider).
+// done, just spread wider). Nodes are summed in ID order so repeated
+// compilations produce bit-identical energy totals.
 func totalEnergy(s *sched.Schedule, m *cost.Model, rep *Report) float64 {
 	var total float64
 	perXB := cost.ReadEnergyPerXBWindow(m.Arch)
 	writeE := m.Arch.XB.Device.Profile().WriteEnergy
-	for id, f := range m.FPs {
+	ids := make([]int, 0, len(m.FPs))
+	for id := range m.FPs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		f := m.FPs[id]
 		if _, ok := rep.PerOp[id]; !ok {
 			continue
 		}
@@ -333,8 +356,8 @@ func segmentReload(s *sched.Schedule, m *cost.Model) float64 {
 }
 
 // fillOccupancy places the schedule to count cores/crossbars used.
-func fillOccupancy(s *sched.Schedule, m *cost.Model, rep *Report) error {
-	p, err := mapping.Place(s.Graph, s.Arch, m.FPs, s.Dup, s.Remap, s.Segments)
+func fillOccupancy(ctx context.Context, s *sched.Schedule, m *cost.Model, rep *Report) error {
+	p, err := mapping.PlaceCtx(ctx, s.Graph, s.Arch, m.FPs, s.Dup, s.Remap, s.Segments)
 	if err != nil {
 		return fmt.Errorf("perfsim: placement: %w", err)
 	}
