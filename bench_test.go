@@ -1,6 +1,7 @@
 package cimmlc
 
 import (
+	"context"
 	"testing"
 
 	"cimmlc/internal/arch"
@@ -154,6 +155,60 @@ func BenchmarkAblationSegmentation(b *testing.B) {
 			}
 		}
 	})
+}
+
+// Serving benchmarks: the compile-once / run-many Program against the
+// deprecated Lower+Run-per-request path, on the §3.4 toy machine. The
+// per-request gap is the point of the Program API — the old path re-lowers
+// the flow, re-quantizes and re-programs every crossbar, and re-runs the
+// float reference for calibration on every single inference.
+
+// BenchmarkProgramRun measures the per-request cost after Build: pooled
+// execution state, compute section only.
+func BenchmarkProgramRun(b *testing.B) {
+	ctx := context.Background()
+	_, _, _, inputs, p := buildToyProgram(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run(ctx, inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProgramRunBatch measures batched fan-out throughput per request.
+func BenchmarkProgramRunBatch(b *testing.B) {
+	ctx := context.Background()
+	_, _, _, inputs, p := buildToyProgram(b)
+	const batch = 16
+	reqs := make([]map[int]*Tensor, batch)
+	for i := range reqs {
+		reqs[i] = inputs
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		if _, err := p.RunBatch(ctx, reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLowerRunPerRequest measures the old per-request path: one
+// Compile up front (as before), then Lower + Run for every inference.
+func BenchmarkLowerRunPerRequest(b *testing.B) {
+	ctx := context.Background()
+	c, g, w, inputs, p := buildToyProgram(b)
+	res := p.Result()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr, err := c.Lower(ctx, g, res, CodegenOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Run(ctx, g, fr, w, inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkCompileThroughput measures raw compiler throughput per model, the

@@ -12,7 +12,11 @@
 //
 // The primary entry point is the Compiler: created once per architecture,
 // it owns a pluggable pass pipeline and an LRU artifact cache, and is safe
-// for concurrent use from many goroutines.
+// for concurrent use from many goroutines. For execution, Compiler.Build
+// compiles a model once into an immutable Program — weights quantized and
+// programmed into a crossbar image, the stationary-weight model CIM
+// hardware serves — and Program.Run/RunBatch execute inference requests
+// against pooled per-request state.
 //
 // Quickstart:
 //
@@ -22,9 +26,14 @@
 //	res, _ := c.Compile(context.Background(), g)
 //	fmt.Println(res.Report.Cycles)
 //
+//	p, _ := c.Build(context.Background(), g, weights, cimmlc.CodegenOptions{},
+//		cimmlc.WithCalibration(calib))
+//	outs, _ := p.Run(context.Background(), inputs)
+//
 // See examples/ for complete programs and DESIGN.md for the architecture of
 // the implementation, including the pass-pipeline design and the migration
-// table from the deprecated free functions to the Compiler methods.
+// table from the deprecated free functions to the Compiler and Program
+// methods.
 package cimmlc
 
 import (

@@ -2,12 +2,16 @@
 // JSON file) onto a preset architecture (or an architecture JSON file) and
 // prints the schedule report and, optionally, the meta-operator flow.
 //
+// The run subcommand compiles once into an executable Program and serves a
+// stream of inference requests against it on the functional simulator.
+//
 // Usage:
 //
 //	cimmlc -model resnet18 -arch isaac-baseline
 //	cimmlc -model conv-relu -arch toy-table2 -flow -max-windows 2
 //	cimmlc -model-file net.json -arch-file accel.json -report
 //	cimmlc -list
+//	cimmlc run -model conv-relu -arch toy-table2 -requests 64 -parallel 8
 package main
 
 import (
@@ -16,13 +20,23 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"cimmlc"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "run" {
+		runServe(os.Args[2:])
+		return
+	}
+	compileMain()
+}
+
+func compileMain() {
 	var (
 		modelName = flag.String("model", "", "zoo model name (see -list)")
 		modelFile = flag.String("model-file", "", "graph JSON file (alternative to -model)")
@@ -98,6 +112,84 @@ func main() {
 			fmt.Println("# (window loops truncated by -max-windows; rerun with 0 for the executable flow)")
 		}
 	}
+}
+
+// runServe is the `cimmlc run` subcommand: Build once, then serve -requests
+// random inferences across -parallel workers and report throughput.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("cimmlc run", flag.ExitOnError)
+	var (
+		modelName = fs.String("model", "", "zoo model name")
+		modelFile = fs.String("model-file", "", "graph JSON file (alternative to -model)")
+		archName  = fs.String("arch", "", "preset architecture name")
+		archFile  = fs.String("arch-file", "", "architecture JSON file (alternative to -arch)")
+		requests  = fs.Int("requests", 32, "number of inference requests to serve")
+		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for the batch")
+		seed      = fs.Uint64("seed", 1, "seed for random weights and inputs")
+		verify    = fs.Float64("verify", 0, "if > 0, verify the first request within this float tolerance")
+	)
+	fs.Parse(args)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	g, err := loadModel(*modelName, *modelFile)
+	if err != nil {
+		fatal(err)
+	}
+	a, err := loadArch(*archName, *archFile)
+	if err != nil {
+		fatal(err)
+	}
+	if *requests < 1 {
+		fatal(fmt.Errorf("cimmlc run: -requests must be at least 1"))
+	}
+	c, err := cimmlc.New(a)
+	if err != nil {
+		fatal(err)
+	}
+	w := cimmlc.RandomWeights(g, *seed)
+	reqs := make([]map[int]*cimmlc.Tensor, *requests)
+	for i := range reqs {
+		in := map[int]*cimmlc.Tensor{}
+		for _, id := range g.InputIDs() {
+			t := cimmlc.NewTensor(g.MustNode(id).OutShape...)
+			t.Rand(*seed+uint64(i)*131+uint64(id), 1)
+			in[id] = t
+		}
+		reqs[i] = in
+	}
+
+	buildStart := time.Now()
+	p, err := c.Build(ctx, g, w, cimmlc.CodegenOptions{},
+		cimmlc.WithCalibration(reqs[0]), cimmlc.WithWorkers(*parallel))
+	if err != nil {
+		fatal(err)
+	}
+	buildTime := time.Since(buildStart)
+	if *verify > 0 {
+		if err := p.Verify(ctx, reqs[0], *verify); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("verify:       ok (tol %g)\n", *verify)
+	}
+
+	serveStart := time.Now()
+	if _, err := p.RunBatch(ctx, reqs); err != nil {
+		fatal(err)
+	}
+	wall := time.Since(serveStart)
+
+	st := p.Stats()
+	rep := p.Result().Report
+	fmt.Printf("model:        %s on %s\n", g.Name, a.Name)
+	fmt.Printf("build:        %v (compile + lower + program weights, paid once)\n", buildTime.Round(time.Microsecond))
+	fmt.Printf("requests:     %d across %d workers\n", *requests, *parallel)
+	fmt.Printf("wall time:    %v (%.0f ns/request, %.1f req/s)\n",
+		wall.Round(time.Microsecond), float64(wall.Nanoseconds())/float64(*requests),
+		float64(*requests)/wall.Seconds())
+	fmt.Printf("device model: %.0f cycles/inference, %.3g energy units\n", rep.Cycles, rep.Energy)
+	fmt.Printf("state pool:   %d hits, %d misses\n", st.PoolHits, st.PoolMisses)
 }
 
 func loadModel(name, file string) (*cimmlc.Graph, error) {

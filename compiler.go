@@ -11,7 +11,6 @@ import (
 	"cimmlc/internal/arch"
 	"cimmlc/internal/codegen"
 	"cimmlc/internal/core"
-	"cimmlc/internal/funcsim"
 	"cimmlc/internal/graph"
 )
 
@@ -196,10 +195,7 @@ func (c *Compiler) Compile(ctx context.Context, g *Graph) (*Result, error) {
 	// Compile a private copy of the graph (shape inference mutates it), on
 	// a private copy of the architecture, so concurrent callers sharing g
 	// never race and cached results are immune to later caller mutations.
-	gc, err := graph.Decode(data)
-	if err != nil {
-		return nil, fmt.Errorf("cimmlc: Compile: %w", err)
-	}
+	gc := g.Clone()
 	a := c.arch
 	res, err := core.CompilePasses(ctx, gc, &a, c.opt, c.passes, c.trace)
 	if err != nil {
@@ -245,8 +241,12 @@ func (c *Compiler) Lower(ctx context.Context, g *Graph, res *Result, opt Codegen
 }
 
 // Run executes a generated flow on the functional simulator and returns the
-// per-node output tensors (keyed by g's node IDs). It replaces the free
-// function RunFlow and, like Compile, leaves g unmutated.
+// per-node output tensors (keyed by g's node IDs). It builds a one-shot
+// Program calibrated on the inputs and runs it once, so every call re-pays
+// weight quantization and crossbar programming.
+//
+// Deprecated: use Build once and Program.Run per request — the Program
+// keeps weights resident in the crossbar image and pools execution state.
 func (c *Compiler) Run(ctx context.Context, g *Graph, fr *FlowResult, w Weights, inputs map[int]*Tensor) (map[int]*Tensor, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -257,17 +257,19 @@ func (c *Compiler) Run(ctx context.Context, g *Graph, fr *FlowResult, w Weights,
 	if g == nil {
 		return nil, fmt.Errorf("cimmlc: Run: nil graph")
 	}
-	gc, err := cloneGraph(g)
+	p, err := c.newProgram(g, fr, w, buildConfig{calib: inputs})
 	if err != nil {
 		return nil, fmt.Errorf("cimmlc: Run: %w", err)
 	}
-	a := c.arch
-	return funcsim.RunFlow(gc, &a, fr, w, inputs)
+	return p.run(ctx, inputs, true)
 }
 
 // Verify checks a generated flow bit-exactly against the quantized reference
-// executor and within floatTol of the float reference. It replaces the free
-// function VerifyFlow and, like Compile, leaves g unmutated.
+// executor and within floatTol of the float reference, via a one-shot
+// Program calibrated on the inputs.
+//
+// Deprecated: use Build once and Program.Verify — same checks, without
+// re-paying compilation-adjacent costs per call.
 func (c *Compiler) Verify(ctx context.Context, g *Graph, fr *FlowResult, w Weights, inputs map[int]*Tensor, floatTol float64) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -278,22 +280,21 @@ func (c *Compiler) Verify(ctx context.Context, g *Graph, fr *FlowResult, w Weigh
 	if g == nil {
 		return fmt.Errorf("cimmlc: Verify: nil graph")
 	}
-	gc, err := cloneGraph(g)
+	p, err := c.newProgram(g, fr, w, buildConfig{calib: inputs})
 	if err != nil {
 		return fmt.Errorf("cimmlc: Verify: %w", err)
 	}
-	a := c.arch
-	return funcsim.Verify(gc, &a, fr, w, inputs, floatTol)
+	return p.Verify(ctx, inputs, floatTol)
 }
 
-// cloneGraph returns a private, shape-inferred copy of g via the JSON
-// round trip, so the Compiler never writes to caller-owned graphs.
+// cloneGraph returns a private, shape-inferred deep copy of g, so the
+// Compiler never writes to caller-owned graphs.
 func cloneGraph(g *Graph) (*Graph, error) {
-	data, err := graph.Encode(g)
-	if err != nil {
+	gc := g.Clone()
+	if err := gc.InferShapes(); err != nil {
 		return nil, err
 	}
-	return graph.Decode(data)
+	return gc, nil
 }
 
 func fingerprint(data []byte) string {

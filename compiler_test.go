@@ -354,6 +354,15 @@ func TestCompilerOptionValidation(t *testing.T) {
 	if _, err := New(a, WithPass("", shadowPass{})); err == nil {
 		t.Fatal("accepted pass shadowing a built-in name")
 	}
+	// Two distinct passes under one name would collide in the artifact
+	// cache (optionFingerprint folds pass names only), so New rejects
+	// duplicates even at different anchors.
+	if _, err := New(a,
+		WithPass(PassCG, &observerPass{}),
+		WithPass(PassMVM, &observerPass{}),
+	); err == nil {
+		t.Fatal("accepted duplicate user pass names")
+	}
 }
 
 // TestDeprecatedWrapperTolerance pins the compatibility contract of the

@@ -88,7 +88,10 @@ func builtinPasses() []Pass {
 
 // BuildPasses assembles the pipeline: the built-in passes with each user
 // insertion spliced in after its anchor. It rejects nil passes, unknown
-// anchors, and user passes that shadow a built-in name.
+// anchors, user passes that shadow a built-in name, and duplicate user pass
+// names — pass names are the only pass identity folded into the compiler's
+// artifact-cache key, so two distinct passes sharing a name would share
+// cache entries.
 func BuildPasses(extras []Insertion) ([]Pass, error) {
 	builtins := builtinPasses()
 	names := make(map[string]bool, len(builtins))
@@ -96,13 +99,22 @@ func BuildPasses(extras []Insertion) ([]Pass, error) {
 		names[p.Name()] = true
 	}
 	after := make(map[string][]Pass)
+	userNames := make(map[string]bool, len(extras))
 	for _, ins := range extras {
 		if ins.Pass == nil {
 			return nil, fmt.Errorf("core: nil pass inserted after %q", ins.After)
 		}
-		if names[ins.Pass.Name()] {
-			return nil, fmt.Errorf("core: user pass shadows built-in pass %q", ins.Pass.Name())
+		name := ins.Pass.Name()
+		if name == "" {
+			return nil, fmt.Errorf("core: user pass inserted after %q has empty name", ins.After)
 		}
+		if names[name] {
+			return nil, fmt.Errorf("core: user pass shadows built-in pass %q", name)
+		}
+		if userNames[name] {
+			return nil, fmt.Errorf("core: duplicate user pass name %q (pass names key the artifact cache and must be unique)", name)
+		}
+		userNames[name] = true
 		anchor := ins.After
 		if anchor == "" {
 			anchor = PassVVM

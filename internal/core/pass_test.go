@@ -58,6 +58,18 @@ func TestBuildPassesRejectsBadInsertions(t *testing.T) {
 	if _, err := BuildPasses([]Insertion{{After: PassCG, Pass: namedPass{PassMVM, &log}}}); err == nil {
 		t.Fatal("accepted pass shadowing a built-in name")
 	}
+	if _, err := BuildPasses([]Insertion{{After: PassCG, Pass: namedPass{"", &log}}}); err == nil {
+		t.Fatal("accepted pass with empty name")
+	}
+	// Two distinct passes registered under one name would share artifact-cache
+	// entries (only names are folded into the cache key), so duplicates are a
+	// construction-time error even at different anchors.
+	if _, err := BuildPasses([]Insertion{
+		{After: PassCG, Pass: namedPass{"dup", &log}},
+		{After: PassMVM, Pass: namedPass{"dup", &log}},
+	}); err == nil {
+		t.Fatal("accepted duplicate user pass names")
+	}
 }
 
 func names(passes []Pass) []string {

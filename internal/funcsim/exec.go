@@ -2,6 +2,7 @@ package funcsim
 
 import (
 	"fmt"
+	"math"
 
 	"cimmlc/internal/graph"
 	"cimmlc/internal/mop"
@@ -18,6 +19,14 @@ func (m *Machine) Run(flow *mop.Flow) error {
 			return fmt.Errorf("funcsim: init op %d (%s): %w", i, op, err)
 		}
 	}
+	return m.RunBody(flow)
+}
+
+// RunBody executes only the flow's compute section, assuming weights were
+// programmed into the machine's image (Image.ProgramInit) or by an earlier
+// Run. It skips re-validation: generated flows are validated once by
+// codegen, not per request.
+func (m *Machine) RunBody(flow *mop.Flow) error {
 	for i, op := range flow.Body {
 		if err := m.exec(op); err != nil {
 			return fmt.Errorf("funcsim: body op %d (%s): %w", i, op, err)
@@ -40,14 +49,14 @@ func (m *Machine) exec(op mop.Op) error {
 	case mop.WriteRow:
 		return m.writeTile(o.XB, o.Row, o.Node, o.CellRowOff, o.CellColOff, o.NumRows, o.Cols)
 	case mop.ReadXB:
-		p := &m.prog[o.XB]
+		p := &m.st.prog[o.XB]
 		if p.node < 0 {
 			return fmt.Errorf("readxb on unprogrammed crossbar %d", o.XB)
 		}
 		return m.readRows(o.XB, 0, p.rows, o.Src, o.Dst, o.DstStride, o.Acc)
 	case mop.ReadRow:
-		if o.NumRows > m.a.XB.ParallelRow {
-			return fmt.Errorf("readrow activates %d rows but parallel_row is %d", o.NumRows, m.a.XB.ParallelRow)
+		if o.NumRows > m.img.a.XB.ParallelRow {
+			return fmt.Errorf("readrow activates %d rows but parallel_row is %d", o.NumRows, m.img.a.XB.ParallelRow)
 		}
 		return m.readRows(o.XB, o.Row, o.NumRows, o.Src, o.Dst, o.DstStride, o.Acc)
 	case mop.ReadCore:
@@ -62,27 +71,31 @@ func (m *Machine) exec(op mop.Op) error {
 	return fmt.Errorf("unknown op type %T", op)
 }
 
-// xbProg extension fields live here to keep the struct in one place.
+// writeTile programs one tile. Cell arrays shared with the image are
+// copied before the first body-section write touches them (copy-on-write),
+// so reprogramming in multi-round flows never leaks into other states.
 func (m *Machine) writeTile(xb, rowStart, node, cellRowOff, cellColOff, rows, cols int) error {
-	if xb < 0 || xb >= len(m.cells) {
+	a, st := m.img.a, m.st
+	if xb < 0 || xb >= len(st.cells) {
 		return fmt.Errorf("crossbar %d out of range", xb)
 	}
-	if rowStart+rows > m.a.XB.Rows || cols > m.a.XB.Cols {
-		return fmt.Errorf("tile %dx%d at row %d exceeds crossbar %dx%d", rows, cols, rowStart, m.a.XB.Rows, m.a.XB.Cols)
+	if rowStart+rows > a.XB.Rows || cols > a.XB.Cols {
+		return fmt.Errorf("tile %dx%d at row %d exceeds crossbar %dx%d", rows, cols, rowStart, a.XB.Rows, a.XB.Cols)
 	}
-	qw, ok := m.qweights[node]
+	qw, ok := m.img.qweights[node]
 	if !ok {
 		return fmt.Errorf("no quantized weights for node %d", node)
 	}
-	dims := m.wDims[node]
-	s := m.a.CellsPerWeight()
+	dims := m.img.wDims[node]
+	s := a.CellsPerWeight()
 	if cellColOff%s != 0 {
 		return fmt.Errorf("cell column offset %d not aligned to %d cells per weight", cellColOff, s)
 	}
-	p := &m.prog[xb]
+	p := &st.prog[xb]
 	if p.node != node || p.rowDelta != cellRowOff-rowStart || p.cellColOff != cellColOff {
 		// Reprogramming with a new tile: clear the array.
-		m.cells[xb] = make([]uint8, m.a.XB.Rows*m.a.XB.Cols)
+		st.cells[xb] = make([]uint8, a.XB.Rows*a.XB.Cols)
+		st.cellShared[xb] = false
 		p.node = node
 		p.rowDelta = cellRowOff - rowStart
 		p.cellColOff = cellColOff
@@ -95,8 +108,16 @@ func (m *Machine) writeTile(xb, rowStart, node, cellRowOff, cellColOff, rows, co
 	if cols > p.cols {
 		p.cols = cols
 	}
-	if m.cells[xb] == nil {
-		m.cells[xb] = make([]uint8, m.a.XB.Rows*m.a.XB.Cols)
+	if st.cells[xb] == nil {
+		st.cells[xb] = make([]uint8, a.XB.Rows*a.XB.Cols)
+		st.cellShared[xb] = false
+	} else if st.cellShared[xb] {
+		// Extending a tile that still aliases the image's array: copy
+		// before writing.
+		dup := make([]uint8, len(st.cells[xb]))
+		copy(dup, st.cells[xb])
+		st.cells[xb] = dup
+		st.cellShared[xb] = false
 	}
 	for i := 0; i < rows; i++ {
 		matRow := cellRowOff + i
@@ -111,8 +132,8 @@ func (m *Machine) writeTile(xb, rowStart, node, cellRowOff, cellColOff, rows, co
 				return fmt.Errorf("cell column %d exceeds weight matrix cols %d", cellCol, dims[1])
 			}
 			v := qw[matRow*dims[1]+wCol]
-			slices := tensor.BitSlice(v, m.a.WeightBits, m.a.XB.CellBits)
-			m.cells[xb][(rowStart+i)*m.a.XB.Cols+l] = uint8(slices[slice])
+			slices := tensor.BitSlice(v, a.WeightBits, a.XB.CellBits)
+			st.cells[xb][(rowStart+i)*a.XB.Cols+l] = uint8(slices[slice])
 		}
 	}
 	return nil
@@ -123,38 +144,74 @@ func (m *Machine) writeTile(xb, rowStart, node, cellRowOff, cellColOff, rows, co
 // its cell slices, and per-weight-column sums are written (or accumulated)
 // at Dst with the given stride.
 func (m *Machine) readRows(xb, row, nrows int, src, dst, stride int64, acc bool) error {
-	if xb < 0 || xb >= len(m.cells) || m.cells[xb] == nil {
+	a, st := m.img.a, m.st
+	if xb < 0 || xb >= len(st.cells) || st.cells[xb] == nil {
 		return fmt.Errorf("crossbar %d not programmed", xb)
 	}
-	p := &m.prog[xb]
+	p := &st.prog[xb]
 	if row+nrows > p.rows {
 		return fmt.Errorf("read rows [%d,%d) exceed programmed rows %d", row, row+nrows, p.rows)
 	}
 	m.touchSrc(src)
-	s := m.a.CellsPerWeight()
+	s := a.CellsPerWeight()
 	nWCols := p.cols / s
-	bits, cb := m.a.WeightBits, m.a.XB.CellBits
-	cols := m.a.XB.Cols
-	slices := make([]uint32, s)
-	for j := 0; j < nWCols; j++ {
-		var sum int64
-		for i := 0; i < nrows; i++ {
-			a := m.mem[src+int64(i)]
-			if a == 0 {
+	sums := st.colSums[:nWCols]
+	clear(sums)
+	if wc := m.img.weightsFor(xb, st); wc != nil {
+		// Fast path: the state still shares the image's frozen cell
+		// array, so the reconstructed weights cached at ProgramInit are
+		// valid — accumulate row-major without bit-slice reassembly.
+		nWAll := a.XB.Cols / s
+		srcMem := st.mem[src : src+int64(nrows)]
+		for i, av := range srcMem {
+			if av == 0 {
 				continue
 			}
-			base := (row+i)*cols + j*s
-			for k := 0; k < s; k++ {
-				slices[k] = uint32(m.cells[xb][base+k])
+			rowW := wc[(row+i)*nWAll : (row+i)*nWAll+nWCols : (row+i)*nWAll+nWCols]
+			j := 0
+			for ; j+3 < len(rowW); j += 4 {
+				s0 := sums[j] + av*rowW[j]
+				s1 := sums[j+1] + av*rowW[j+1]
+				s2 := sums[j+2] + av*rowW[j+2]
+				s3 := sums[j+3] + av*rowW[j+3]
+				sums[j], sums[j+1], sums[j+2], sums[j+3] = s0, s1, s2, s3
 			}
-			w := tensor.FromBitSlices(slices, bits, cb)
-			sum += a * int64(w)
+			for ; j < len(rowW); j++ {
+				sums[j] += av * rowW[j]
+			}
 		}
-		addr := dst + int64(j)*stride
-		if acc {
-			m.mem[addr] += sum
-		} else {
-			m.mem[addr] = sum
+	} else {
+		bits, cb := a.WeightBits, a.XB.CellBits
+		cols := a.XB.Cols
+		cells := st.cells[xb]
+		slices := make([]uint32, s)
+		for j := 0; j < nWCols; j++ {
+			var sum int64
+			for i := 0; i < nrows; i++ {
+				av := st.mem[src+int64(i)]
+				if av == 0 {
+					continue
+				}
+				base := (row+i)*cols + j*s
+				for k := 0; k < s; k++ {
+					slices[k] = uint32(cells[base+k])
+				}
+				w := tensor.FromBitSlices(slices, bits, cb)
+				sum += av * int64(w)
+			}
+			sums[j] = sum
+		}
+	}
+	addr := dst
+	if acc {
+		for j := 0; j < nWCols; j++ {
+			st.mem[addr] += sums[j]
+			addr += stride
+		}
+	} else {
+		for j := 0; j < nWCols; j++ {
+			st.mem[addr] = sums[j]
+			addr += stride
 		}
 	}
 	if node := m.nodeAt(dst); node >= 0 {
@@ -168,15 +225,15 @@ func (m *Machine) readRows(xb, row, nrows int, src, dst, stride int64, acc bool)
 // simulator computes the integer MVMs directly from the node's quantized
 // weight matrix.
 func (m *Machine) readCore(o mop.ReadCore) error {
-	n := m.g.MustNode(o.Node)
-	qw, ok := m.qweights[o.Node]
+	n := m.img.g.MustNode(o.Node)
+	qw, ok := m.img.qweights[o.Node]
 	if !ok {
 		return fmt.Errorf("no quantized weights for node %d", o.Node)
 	}
-	dims := m.wDims[o.Node]
+	dims := m.img.wDims[o.Node]
 	m.touchSrc(o.Src)
 	rows, cols := dims[0], dims[1]
-	vec := make([]int64, rows)
+	vec := m.st.scratchVec(rows)
 	for w := o.WinStart; w < o.WinStart+o.WinCount; w++ {
 		if err := m.gatherWindow(n, w, o.Src, vec); err != nil {
 			return err
@@ -188,7 +245,7 @@ func (m *Machine) readCore(o mop.ReadCore) error {
 					sum += vec[i] * int64(qw[i*cols+j])
 				}
 			}
-			m.mem[m.cimDst(n, o.Dst, w, j)] = sum
+			m.st.mem[m.cimDst(n, o.Dst, w, j)] = sum
 		}
 	}
 	m.markCIMOutput(o.Node)
@@ -212,25 +269,40 @@ func (m *Machine) cimDst(n *graph.Node, base, w int64, j int) int64 {
 // row order: (ic, ky, kx) for convolutions from an NCHW region, a contiguous
 // token row for matrix Dense, the whole vector for vector Dense.
 func (m *Machine) gatherWindow(n *graph.Node, w, srcBase int64, vec []int64) error {
+	mem := m.st.mem
 	switch n.Op {
 	case graph.OpConv:
-		in := m.g.MustNode(n.Inputs[0]).OutShape
+		in := m.img.g.MustNode(n.Inputs[0]).OutShape
 		inC, h, wd := in[0], in[1], in[2]
 		outW := n.OutShape[2]
 		oy := int(w) / outW
 		ox := int(w) % outW
 		kH, kW := n.Attr.KernelH, n.Attr.KernelW
 		st, pad := n.Attr.Stride, n.Attr.Padding
+		y0, x0 := oy*st-pad, ox*st-pad
+		if y0 >= 0 && x0 >= 0 && y0+kH <= h && x0+kW <= wd {
+			// Interior window: every kernel row is a contiguous run.
+			idx := 0
+			for ic := 0; ic < inC; ic++ {
+				rowBase := srcBase + int64((ic*h+y0)*wd+x0)
+				for ky := 0; ky < kH; ky++ {
+					copy(vec[idx:idx+kW], mem[rowBase:rowBase+int64(kW)])
+					idx += kW
+					rowBase += int64(wd)
+				}
+			}
+			return nil
+		}
 		idx := 0
 		for ic := 0; ic < inC; ic++ {
 			for ky := 0; ky < kH; ky++ {
-				iy := oy*st + ky - pad
+				iy := y0 + ky
 				for kx := 0; kx < kW; kx++ {
-					ix := ox*st + kx - pad
+					ix := x0 + kx
 					if iy < 0 || iy >= h || ix < 0 || ix >= wd {
 						vec[idx] = 0
 					} else {
-						vec[idx] = m.mem[srcBase+int64((ic*h+iy)*wd+ix)]
+						vec[idx] = mem[srcBase+int64((ic*h+iy)*wd+ix)]
 					}
 					idx++
 				}
@@ -240,9 +312,9 @@ func (m *Machine) gatherWindow(n *graph.Node, w, srcBase int64, vec []int64) err
 	case graph.OpDense:
 		rows := len(vec)
 		if len(n.OutShape) == 2 {
-			copy(vec, m.mem[srcBase+w*int64(rows):srcBase+(w+1)*int64(rows)])
+			copy(vec, mem[srcBase+w*int64(rows):srcBase+(w+1)*int64(rows)])
 		} else {
-			copy(vec, m.mem[srcBase:srcBase+int64(rows)])
+			copy(vec, mem[srcBase:srcBase+int64(rows)])
 		}
 		return nil
 	}
@@ -251,38 +323,39 @@ func (m *Machine) gatherWindow(n *graph.Node, w, srcBase int64, vec []int64) err
 
 func (m *Machine) mov(o mop.Mov) error {
 	m.touchSrc(o.Src)
-	copy(m.mem[o.Dst:o.Dst+o.Len], m.mem[o.Src:o.Src+o.Len])
+	st := m.st
+	copy(st.mem[o.Dst:o.Dst+o.Len], st.mem[o.Src:o.Src+o.Len])
 	// Whole-region copies propagate the source's numeric domain (Flatten,
 	// Identity).
 	dstNode := m.nodeAt(o.Dst)
-	if dstNode >= 0 && o.Dst == m.lay.Base[dstNode] && o.Len == m.lay.Size[dstNode] {
+	if dstNode >= 0 && o.Dst == m.img.base[dstNode] && o.Len == m.img.size[dstNode] {
 		if srcNode := m.nodeAt(o.Src); srcNode >= 0 {
-			m.regionScale[dstNode] = m.regionScale[srcNode]
-			m.regionRaw[dstNode] = false
+			st.regionScale[dstNode] = st.regionScale[srcNode]
+			st.regionRaw[dstNode] = false
 		}
 	}
 	return nil
 }
 
 func (m *Machine) movWindow(o mop.MovWindow) error {
-	n := m.g.MustNode(o.Node)
+	n := m.img.g.MustNode(o.Node)
 	if n.Op != graph.OpConv {
 		return fmt.Errorf("mov_window on non-conv node %d", o.Node)
 	}
 	m.touchSrc(o.SrcBase)
 	rows := n.WeightShape[1] * n.WeightShape[2] * n.WeightShape[3]
-	vec := make([]int64, rows)
-	if err := m.gatherWindow(n, o.Window, o.SrcBase, vec); err != nil {
-		return err
-	}
-	copy(m.mem[o.Dst:o.Dst+int64(rows)], vec)
-	return nil
+	// Gather straight into the destination scratch region: source and
+	// scratch regions are disjoint by construction of the layout.
+	return m.gatherWindow(n, o.Window, o.SrcBase, m.st.mem[o.Dst:o.Dst+int64(rows)])
 }
 
 // dcom executes a digital-compute operator: dequantize the inputs, run the
 // float reference kernel, requantize into the node's activation domain.
 func (m *Machine) dcom(o mop.Dcom) error {
-	n := m.g.MustNode(o.Node)
+	n := m.img.g.MustNode(o.Node)
+	if n.Op == graph.OpReLU {
+		return m.dcomReLU(o, n)
+	}
 	ins := make([]*tensor.Tensor, len(n.Inputs))
 	for i, in := range n.Inputs {
 		m.settle(in)
@@ -292,7 +365,7 @@ func (m *Machine) dcom(o mop.Dcom) error {
 	if err != nil {
 		return err
 	}
-	q := m.actScale[o.Node]
+	q := m.img.actScale[o.Node]
 	qv, err := tensor.Quantize(out, q)
 	if err != nil {
 		return err
@@ -301,24 +374,93 @@ func (m *Machine) dcom(o mop.Dcom) error {
 		return fmt.Errorf("dcom %s output length %d does not match len %d", o.Fn, len(qv), o.Len)
 	}
 	for i, v := range qv {
-		m.mem[o.Dst+int64(i)] = int64(v)
+		m.st.mem[o.Dst+int64(i)] = int64(v)
 	}
-	m.regionScale[o.Node] = float64(q.Scale)
-	m.regionRaw[o.Node] = false
+	m.st.regionScale[o.Node] = float64(q.Scale)
+	m.st.regionRaw[o.Node] = false
+	return nil
+}
+
+// dcomReLU is the allocation-free ReLU: it replicates the generic
+// dequantize → float kernel → requantize pipeline element by element
+// (including the float32 division Quantize performs), so outputs stay
+// bit-identical to the reference path while skipping three tensor
+// allocations per operator on the serving hot path.
+func (m *Machine) dcomReLU(o mop.Dcom, n *graph.Node) error {
+	in := n.Inputs[0]
+	base, size := m.img.base[in], m.img.size[in]
+	if size != o.Len {
+		return fmt.Errorf("dcom %s output length %d does not match len %d", o.Fn, size, o.Len)
+	}
+	q := m.img.actScale[o.Node]
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	m.settle(in)
+	inScale := m.st.regionScale[in]
+	if inScale == 0 {
+		inScale = float64(m.img.actScale[in].Scale)
+	}
+	// reluQuant replicates regionTensor + tensor.ReLU + tensor.Quantize for
+	// one element, including the float32 division Quantize performs, so
+	// this path stays bit-identical to the generic pipeline.
+	maxQ, scale := q.MaxQ(), q.Scale
+	reluQuant := func(v int64) int64 {
+		f := float32(float64(v) * inScale)
+		if f < 0 {
+			f = 0
+		}
+		r := int32(math.RoundToEven(float64(f / scale)))
+		if r > maxQ {
+			r = maxQ
+		}
+		if r < -maxQ {
+			r = -maxQ
+		}
+		return int64(r)
+	}
+	// Settled activations are clamped to the input's quantized range, so
+	// for the usual low-precision activations (8-bit in every preset)
+	// precompute the requantization of every representable value and turn
+	// the per-element division into a table lookup. High-precision
+	// configurations would make the table larger than the work it saves,
+	// so they take the direct loop.
+	mem := m.st.mem
+	maxIn := int64(m.img.actScale[in].MaxQ())
+	if maxIn <= 1<<12 && size >= maxIn {
+		table := make([]int64, 2*maxIn+1)
+		for v := -maxIn; v <= maxIn; v++ {
+			table[v+maxIn] = reluQuant(v)
+		}
+		for i := int64(0); i < size; i++ {
+			v := mem[base+i]
+			if v >= -maxIn && v <= maxIn {
+				mem[o.Dst+i] = table[v+maxIn]
+			} else {
+				mem[o.Dst+i] = reluQuant(v)
+			}
+		}
+	} else {
+		for i := int64(0); i < size; i++ {
+			mem[o.Dst+i] = reluQuant(mem[base+i])
+		}
+	}
+	m.st.regionScale[o.Node] = float64(q.Scale)
+	m.st.regionRaw[o.Node] = false
 	return nil
 }
 
 // regionTensor dequantizes a node's (settled) region into a float tensor.
 func (m *Machine) regionTensor(node int) *tensor.Tensor {
-	n := m.g.MustNode(node)
-	base, size := m.lay.Base[node], m.lay.Size[node]
+	n := m.img.g.MustNode(node)
+	base, size := m.img.base[node], m.img.size[node]
 	t := tensor.New(n.OutShape...)
-	scale := m.regionScale[node]
+	scale := m.st.regionScale[node]
 	if scale == 0 {
-		scale = float64(m.actScale[node].Scale)
+		scale = float64(m.img.actScale[node].Scale)
 	}
 	for i := int64(0); i < size; i++ {
-		t.Data()[i] = float32(float64(m.mem[base+i]) * scale)
+		t.Data()[i] = float32(float64(m.st.mem[base+i]) * scale)
 	}
 	return t
 }
@@ -385,7 +527,7 @@ func concatKernel(ins []*tensor.Tensor, axis int) (*tensor.Tensor, error) {
 
 // SettleAll requantizes every raw region (used before extracting outputs).
 func (m *Machine) SettleAll() {
-	for _, n := range m.g.Nodes {
+	for _, n := range m.img.g.Nodes {
 		m.settle(n.ID)
 	}
 }

@@ -13,6 +13,15 @@
 // digital periphery requantizes to 8-bit activations when first consumed
 // (standard post-training-quantization inference).
 //
+// State is split along the CIM stationary-weight boundary: an Image holds
+// everything that survives across inferences (quantized weights, calibrated
+// activation scales, the crossbar cells programmed by a flow's init section)
+// and is immutable once built, so one Image serves any number of concurrent
+// executions. A State holds the per-inference mutable residue (activation
+// memory, region quantization domains, copy-on-write crossbar overrides) and
+// is cheap to reset and reuse — the compile-once / run-many execution model
+// of the public Program API.
+//
 // QuantReference executes the same quantized semantics without crossbars or
 // flows; a correct compiler + simulator pair must match it bit-exactly.
 package funcsim
@@ -25,36 +34,91 @@ import (
 	"cimmlc/internal/arch"
 	"cimmlc/internal/codegen"
 	"cimmlc/internal/graph"
+	"cimmlc/internal/mop"
 	"cimmlc/internal/tensor"
 )
 
-// Machine is the simulated accelerator state for one flow execution.
-type Machine struct {
+// Image is the immutable programmed accelerator state shared by every
+// execution of one compiled flow: the shape-inferred graph, the buffer
+// layout, quantized weights and calibrated quantization scales, plus the
+// crossbar cell arrays written by the flow's init section (ProgramInit).
+// Once built it is never written again, so it is safe for concurrent use
+// from many goroutines, each driving its own State.
+type Image struct {
 	g   *graph.Graph
 	a   *arch.Arch
 	lay *codegen.Layout
 
-	mem []int64
-
-	// Crossbar cell arrays, indexed by chip-global crossbar ID.
-	cells [][]uint8 // rows*cols cell values
-	prog  []xbProg  // what each crossbar currently holds
-
-	// Quantization state.
+	// Quantization state, fixed at calibration time.
 	wScale   map[int]tensor.QuantParams // CIM node → weight quantizer
 	actScale map[int]tensor.QuantParams // node → output activation quantizer
 	qweights map[int][]int32            // CIM node → quantized weight matrix (row-major rows×cols)
 	wDims    map[int][2]int             // CIM node → (rows, cols)
 
-	// Region bookkeeping: scale of the ints currently in each node's
-	// region, and whether they are raw CIM accumulators awaiting
-	// requantization.
-	regionScale map[int]float64
-	regionRaw   map[int]bool
-
 	// Sorted region index for address→node resolution.
 	regionBases []int64
 	regionNodes []int
+
+	// Dense per-node layout (index = node ID; -1 base when absent),
+	// mirroring lay.Base/lay.Size without map lookups on the hot path.
+	base []int64
+	size []int64
+	// nodeEnd is the first address past every node region; scratch space
+	// lives above it, so addr >= nodeEnd resolves to no node immediately.
+	nodeEnd int64
+
+	// Baseline crossbar contents after the init section: cell arrays are
+	// shared into each State copy-on-write, so the body's reprogramming
+	// operators (multi-round flows) never write through to the image.
+	baseCells [][]uint8
+	baseProg  []xbProg
+
+	// baseWeights caches, for each programmed crossbar, the weights
+	// reconstructed from its cell slices (row-major rows × cols/s). Cells
+	// are immutable after ProgramInit, so reads can skip the per-element
+	// bit-slice reassembly — the dominant cost of the MVM inner loop —
+	// whenever the state still shares the image's cell array.
+	baseWeights [][]int64
+}
+
+// State is the mutable residue of one inference: the flat activation
+// memory, the per-region quantization bookkeeping, and the crossbar view
+// (cell arrays shared from the Image until a body write copies them). A
+// State is owned by exactly one execution at a time; Image.Reset recycles
+// it for the next request without reallocating.
+type State struct {
+	mem []int64
+
+	cells      [][]uint8 // crossbar cell arrays, indexed by chip-global ID
+	cellShared []bool    // true while cells[i] aliases the image's array
+	prog       []xbProg  // what each crossbar currently holds
+
+	// Scale of the ints currently in each node's region, and whether they
+	// are raw CIM accumulators awaiting requantization (index = node ID;
+	// scale 0 means "default activation scale").
+	regionScale []float64
+	regionRaw   []bool
+
+	// colSums is readRows' reusable per-weight-column accumulator, and
+	// winVec the reusable window-gather vector (grown on demand).
+	colSums []int64
+	winVec  []int64
+}
+
+// scratchVec returns a reusable []int64 of length n; the caller must fill
+// every element before reading.
+func (st *State) scratchVec(n int) []int64 {
+	if cap(st.winVec) < n {
+		st.winVec = make([]int64, n)
+	}
+	return st.winVec[:n]
+}
+
+// Machine binds an Image to one State for execution. The zero Machine is
+// not usable; obtain one from Image.Exec or New.
+type Machine struct {
+	img *Image
+	st  *State
 }
 
 // xbProg records the tile programmed into one crossbar: which node's cell
@@ -68,34 +132,34 @@ type xbProg struct {
 	rows, cols int
 }
 
-// New prepares a machine: quantizes weights, calibrates activation scales by
-// running the float reference on the given inputs, and zeroes memory.
-func New(g *graph.Graph, a *arch.Arch, lay *codegen.Layout, weights graph.Weights, inputs map[int]*tensor.Tensor) (*Machine, error) {
+// NewImage calibrates and quantizes: weights are quantized to the
+// architecture's weight precision, and per-node activation scales are
+// calibrated by running the float reference on calib. The returned image
+// has no crossbars programmed yet — ProgramInit executes a flow's init
+// section into it.
+func NewImage(g *graph.Graph, a *arch.Arch, lay *codegen.Layout, weights graph.Weights, calib map[int]*tensor.Tensor) (*Image, error) {
 	if err := g.InferShapes(); err != nil {
 		return nil, err
 	}
-	ref, err := graph.Execute(g, weights, inputs)
+	ref, err := graph.Execute(g, weights, calib)
 	if err != nil {
 		return nil, fmt.Errorf("funcsim: reference execution for calibration: %w", err)
 	}
-	m := &Machine{
+	img := &Image{
 		g: g, a: a, lay: lay,
-		mem:         make([]int64, lay.Total),
-		cells:       make([][]uint8, a.TotalCrossbars()),
-		prog:        make([]xbProg, a.TotalCrossbars()),
-		wScale:      map[int]tensor.QuantParams{},
-		actScale:    map[int]tensor.QuantParams{},
-		qweights:    map[int][]int32{},
-		wDims:       map[int][2]int{},
-		regionScale: map[int]float64{},
-		regionRaw:   map[int]bool{},
+		wScale:    map[int]tensor.QuantParams{},
+		actScale:  map[int]tensor.QuantParams{},
+		qweights:  map[int][]int32{},
+		wDims:     map[int][2]int{},
+		baseCells: make([][]uint8, a.TotalCrossbars()),
+		baseProg:  make([]xbProg, a.TotalCrossbars()),
 	}
-	for i := range m.prog {
-		m.prog[i].node = -1
+	for i := range img.baseProg {
+		img.baseProg[i].node = -1
 	}
 	for _, n := range g.Nodes {
 		q := tensor.CalibrateQuant(ref[n.ID], a.ActBits)
-		m.actScale[n.ID] = q
+		img.actScale[n.ID] = q
 	}
 	for id, w := range weights {
 		mat, err := weightMatrix(g.MustNode(id), w)
@@ -107,30 +171,169 @@ func New(g *graph.Graph, a *arch.Arch, lay *codegen.Layout, weights graph.Weight
 		if err != nil {
 			return nil, err
 		}
-		m.wScale[id] = q
-		m.qweights[id] = qv
-		m.wDims[id] = [2]int{mat.Dim(0), mat.Dim(1)}
+		img.wScale[id] = q
+		img.qweights[id] = qv
+		img.wDims[id] = [2]int{mat.Dim(0), mat.Dim(1)}
 	}
-	// Load quantized inputs.
+	// Region index sorted by base address, plus the dense layout mirror.
+	img.base = make([]int64, len(g.Nodes))
+	img.size = make([]int64, len(g.Nodes))
+	for i := range img.base {
+		img.base[i] = -1
+	}
+	for id := range lay.Base {
+		img.regionBases = append(img.regionBases, lay.Base[id])
+		img.regionNodes = append(img.regionNodes, id)
+		if id >= 0 && id < len(img.base) {
+			img.base[id] = lay.Base[id]
+			img.size[id] = lay.Size[id]
+		}
+		if end := lay.Base[id] + lay.Size[id]; end > img.nodeEnd {
+			img.nodeEnd = end
+		}
+	}
+	sort.Sort(byBase{img.regionBases, img.regionNodes})
+	return img, nil
+}
+
+// NewState allocates a fresh execution state sized for the image's layout
+// and crossbar count, ready for LoadInputs.
+func (img *Image) NewState() *State {
+	st := &State{
+		mem:         make([]int64, img.lay.Total),
+		cells:       make([][]uint8, len(img.baseCells)),
+		cellShared:  make([]bool, len(img.baseCells)),
+		prog:        make([]xbProg, len(img.baseProg)),
+		regionScale: make([]float64, len(img.g.Nodes)),
+		regionRaw:   make([]bool, len(img.g.Nodes)),
+		colSums:     make([]int64, img.a.XB.Cols/img.a.CellsPerWeight()+1),
+	}
+	img.Reset(st)
+	return st
+}
+
+// Reset recycles st for a new inference against this image: activation
+// memory is zeroed, region bookkeeping cleared, and the crossbar view is
+// re-pointed at the image's programmed cells (shared, copy-on-write).
+func (img *Image) Reset(st *State) {
+	clear(st.mem)
+	clear(st.regionScale)
+	clear(st.regionRaw)
+	copy(st.prog, img.baseProg)
+	for i, c := range img.baseCells {
+		st.cells[i] = c
+		st.cellShared[i] = c != nil
+	}
+}
+
+// Exec binds st to the image for one execution. The caller must not use st
+// with two machines at once.
+func (img *Image) Exec(st *State) *Machine {
+	return &Machine{img: img, st: st}
+}
+
+// weightsFor returns the cached reconstructed weights of one crossbar, or
+// nil when the cache is unusable: never built (one-shot machines), or the
+// state reprogrammed this crossbar (copy-on-write broke the aliasing).
+func (img *Image) weightsFor(xb int, st *State) []int64 {
+	if img.baseWeights == nil || !st.cellShared[xb] {
+		return nil
+	}
+	return img.baseWeights[xb]
+}
+
+// Graph returns the image's shape-inferred graph (read-only).
+func (img *Image) Graph() *graph.Graph { return img.g }
+
+// ProgramInit executes the flow's weight-programming section into the
+// image's baseline crossbar state. It must be called before the image is
+// shared across goroutines; afterwards every State starts from the
+// programmed cells and executions run only the compute section.
+func (img *Image) ProgramInit(init []mop.Op) error {
+	if len(init) == 0 {
+		return nil
+	}
+	st := img.NewState()
+	m := img.Exec(st)
+	for i, op := range init {
+		if err := m.exec(op); err != nil {
+			return fmt.Errorf("funcsim: init op %d (%s): %w", i, op, err)
+		}
+	}
+	img.baseCells = st.cells
+	img.baseProg = st.prog
+	img.cacheWeights()
+	return nil
+}
+
+// cacheWeights reconstructs every programmed crossbar's weight matrix from
+// its (now frozen) cell slices, so per-request MVMs read weights directly.
+func (img *Image) cacheWeights() {
+	s := img.a.CellsPerWeight()
+	rows, cols := img.a.XB.Rows, img.a.XB.Cols
+	nW := cols / s
+	img.baseWeights = make([][]int64, len(img.baseCells))
+	slices := make([]uint32, s)
+	for xb, cells := range img.baseCells {
+		if cells == nil {
+			continue
+		}
+		wc := make([]int64, rows*nW)
+		for r := 0; r < rows; r++ {
+			for j := 0; j < nW; j++ {
+				base := r*cols + j*s
+				for k := 0; k < s; k++ {
+					slices[k] = uint32(cells[base+k])
+				}
+				wc[r*nW+j] = int64(tensor.FromBitSlices(slices, img.a.WeightBits, img.a.XB.CellBits))
+			}
+		}
+		img.baseWeights[xb] = wc
+	}
+}
+
+// LoadInputs quantizes each input tensor with the image's calibrated scale
+// and writes it into the node's region.
+func (m *Machine) LoadInputs(inputs map[int]*tensor.Tensor) error {
 	for id, t := range inputs {
-		q := m.actScale[id]
+		q, ok := m.img.actScale[id]
+		if !ok {
+			return fmt.Errorf("funcsim: input for unknown node %d", id)
+		}
+		if id < 0 || id >= len(m.img.base) || m.img.base[id] < 0 {
+			return fmt.Errorf("funcsim: input node %d has no buffer region", id)
+		}
+		base := m.img.base[id]
 		qv, err := tensor.Quantize(t, q)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		base := lay.Base[id]
+		if int64(len(qv)) != m.img.size[id] {
+			return fmt.Errorf("funcsim: input for node %d has %d elements, region holds %d", id, len(qv), m.img.size[id])
+		}
 		for i, v := range qv {
-			m.mem[base+int64(i)] = int64(v)
+			m.st.mem[base+int64(i)] = int64(v)
 		}
-		m.regionScale[id] = float64(q.Scale)
-		m.regionRaw[id] = false
+		m.st.regionScale[id] = float64(q.Scale)
+		m.st.regionRaw[id] = false
 	}
-	// Region index sorted by base address.
-	for id := range lay.Base {
-		m.regionBases = append(m.regionBases, lay.Base[id])
-		m.regionNodes = append(m.regionNodes, id)
+	return nil
+}
+
+// New prepares a one-shot machine: it builds an image calibrated on the
+// given inputs (with no crossbars pre-programmed — Run executes the init
+// section), allocates a state and loads the inputs. Kept for the
+// single-inference paths; the compile-once / run-many path is
+// NewImage + ProgramInit + per-request states.
+func New(g *graph.Graph, a *arch.Arch, lay *codegen.Layout, weights graph.Weights, inputs map[int]*tensor.Tensor) (*Machine, error) {
+	img, err := NewImage(g, a, lay, weights, inputs)
+	if err != nil {
+		return nil, err
 	}
-	sort.Sort(byBase{m.regionBases, m.regionNodes})
+	m := img.Exec(img.NewState())
+	if err := m.LoadInputs(inputs); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
@@ -161,12 +364,24 @@ func weightMatrix(n *graph.Node, w *tensor.Tensor) (*tensor.Tensor, error) {
 // nodeAt resolves a buffer address to the node whose region contains it
 // (scratch addresses resolve to no node and return -1).
 func (m *Machine) nodeAt(addr int64) int {
-	i := sort.Search(len(m.regionBases), func(i int) bool { return m.regionBases[i] > addr })
-	if i == 0 {
+	img := m.img
+	if addr >= img.nodeEnd {
+		return -1 // scratch space
+	}
+	lo, hi := 0, len(img.regionBases)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if img.regionBases[mid] > addr {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == 0 {
 		return -1
 	}
-	id := m.regionNodes[i-1]
-	if addr < m.lay.Base[id]+m.lay.Size[id] {
+	id := img.regionNodes[lo-1]
+	if addr < img.base[id]+img.size[id] {
 		return id
 	}
 	return -1
@@ -176,15 +391,15 @@ func (m *Machine) nodeAt(addr int64) int {
 // activation domain (the shift-add + requantization periphery). It runs
 // lazily on first consumption.
 func (m *Machine) settle(node int) {
-	if node < 0 || !m.regionRaw[node] {
+	if node < 0 || !m.st.regionRaw[node] {
 		return
 	}
-	raw := m.regionScale[node]
-	q := m.actScale[node]
-	base, size := m.lay.Base[node], m.lay.Size[node]
+	raw := m.st.regionScale[node]
+	q := m.img.actScale[node]
+	base, size := m.img.base[node], m.img.size[node]
 	maxQ := int64(q.MaxQ())
 	for i := base; i < base+size; i++ {
-		f := float64(m.mem[i]) * raw
+		f := float64(m.st.mem[i]) * raw
 		v := int64(math.RoundToEven(f / float64(q.Scale)))
 		if v > maxQ {
 			v = maxQ
@@ -192,10 +407,10 @@ func (m *Machine) settle(node int) {
 		if v < -maxQ {
 			v = -maxQ
 		}
-		m.mem[i] = v
+		m.st.mem[i] = v
 	}
-	m.regionScale[node] = float64(q.Scale)
-	m.regionRaw[node] = false
+	m.st.regionScale[node] = float64(q.Scale)
+	m.st.regionRaw[node] = false
 }
 
 // touchSrc settles whatever region the source address lives in.
@@ -206,38 +421,57 @@ func (m *Machine) touchSrc(addr int64) {
 // markCIMOutput records that node's region now holds raw accumulators whose
 // unit value is wScale·inScale.
 func (m *Machine) markCIMOutput(node int) {
-	n := m.g.MustNode(node)
-	in := n.Inputs[0]
-	inScale := m.regionScale[in]
-	if inScale == 0 {
-		inScale = float64(m.actScale[in].Scale)
+	if m.st.regionRaw[node] {
+		// Already marked by an earlier window of the same operator; the
+		// input's scale is fixed once its region has settled, so the raw
+		// scale cannot have changed.
+		return
 	}
-	m.regionScale[node] = float64(m.wScale[node].Scale) * inScale
-	m.regionRaw[node] = true
+	n := m.img.g.MustNode(node)
+	in := n.Inputs[0]
+	inScale := m.st.regionScale[in]
+	if inScale == 0 {
+		inScale = float64(m.img.actScale[in].Scale)
+	}
+	m.st.regionScale[node] = float64(m.img.wScale[node].Scale) * inScale
+	m.st.regionRaw[node] = true
 }
 
 // Tensors returns the dequantized float tensor of every node's region.
 func (m *Machine) Tensors() map[int]*tensor.Tensor {
-	out := map[int]*tensor.Tensor{}
-	for _, n := range m.g.Nodes {
-		base, size := m.lay.Base[n.ID], m.lay.Size[n.ID]
+	ids := make([]int, len(m.img.g.Nodes))
+	for i, n := range m.img.g.Nodes {
+		ids[i] = n.ID
+	}
+	return m.TensorsOf(ids)
+}
+
+// TensorsOf returns the dequantized float tensors of the given node IDs
+// only — the serving fast path extracts just the graph's outputs instead
+// of dequantizing every region.
+func (m *Machine) TensorsOf(ids []int) map[int]*tensor.Tensor {
+	out := make(map[int]*tensor.Tensor, len(ids))
+	for _, id := range ids {
+		n := m.img.g.MustNode(id)
+		base, size := m.img.base[id], m.img.size[id]
 		t := tensor.New(n.OutShape...)
-		scale := m.regionScale[n.ID]
+		scale := m.st.regionScale[id]
 		if scale == 0 {
-			scale = float64(m.actScale[n.ID].Scale)
+			scale = float64(m.img.actScale[id].Scale)
 		}
-		for i := int64(0); i < size; i++ {
-			t.Data()[i] = float32(float64(m.mem[base+i]) * scale)
+		data := t.Data()
+		for i, v := range m.st.mem[base : base+size] {
+			data[i] = float32(float64(v) * scale)
 		}
-		out[n.ID] = t
+		out[id] = t
 	}
 	return out
 }
 
 // RawRegion exposes a copy of a node's integer region (tests).
 func (m *Machine) RawRegion(node int) []int64 {
-	base, size := m.lay.Base[node], m.lay.Size[node]
+	base, size := m.img.base[node], m.img.size[node]
 	out := make([]int64, size)
-	copy(out, m.mem[base:base+size])
+	copy(out, m.st.mem[base:base+size])
 	return out
 }

@@ -14,11 +14,24 @@ import (
 // as the flow simulator — integer MVMs over the quantized weight matrices,
 // float digital kernels requantized to each node's calibrated activation
 // scale — but without crossbars, placement or meta-operators. A correct
-// compiler must reproduce it bit-exactly, which Verify checks.
+// compiler must reproduce it bit-exactly, which Verify checks. Activation
+// scales are calibrated on the inputs themselves (the one-shot semantics).
 func QuantReference(g *graph.Graph, a *arch.Arch, weights graph.Weights, inputs map[int]*tensor.Tensor) (map[int]*tensor.Tensor, error) {
+	return QuantReferenceCalib(g, a, weights, inputs, inputs)
+}
+
+// QuantReferenceCalib is QuantReference with the activation scales
+// calibrated on calib rather than on the executed inputs — the reference for
+// a compile-once Program, whose image fixes its quantizers at build time and
+// then serves arbitrary inputs.
+func QuantReferenceCalib(g *graph.Graph, a *arch.Arch, weights graph.Weights, calib, inputs map[int]*tensor.Tensor) (map[int]*tensor.Tensor, error) {
 	lay := referenceLayout(g)
-	m, err := New(g, a, lay, weights, inputs)
+	img, err := NewImage(g, a, lay, weights, calib)
 	if err != nil {
+		return nil, err
+	}
+	m := img.Exec(img.NewState())
+	if err := m.LoadInputs(inputs); err != nil {
 		return nil, err
 	}
 	for _, n := range g.Nodes {
@@ -128,6 +141,14 @@ func Verify(g *graph.Graph, a *arch.Arch, res *codegen.Result, weights graph.Wei
 	if err != nil {
 		return err
 	}
+	return CheckOutputs(g, got, want, ref, floatTol)
+}
+
+// CheckOutputs verifies per-node flow outputs: got must match the quantized
+// reference want bit-exactly and stay within floatTol of the float
+// reference ref, relative to each node output's max magnitude. It is the
+// shared comparison behind Verify and Program.Verify.
+func CheckOutputs(g *graph.Graph, got, want, ref map[int]*tensor.Tensor, floatTol float64) error {
 	for _, n := range g.Nodes {
 		if n.Op == graph.OpInput {
 			continue

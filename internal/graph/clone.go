@@ -1,0 +1,24 @@
+package graph
+
+// Clone returns a deep copy of g sharing no mutable state with the
+// original: nodes and their slice fields are copied, so shape inference or
+// other mutation of the clone never affects g. It replaces the JSON
+// encode/decode round trip the compiler used for graph isolation, which
+// paid serialization costs on every call.
+func (g *Graph) Clone() *Graph {
+	if g == nil {
+		return nil
+	}
+	nodes := make([]*Node, len(g.Nodes))
+	for i, n := range g.Nodes {
+		if n == nil {
+			continue
+		}
+		c := *n
+		c.Inputs = append([]int(nil), n.Inputs...)
+		c.WeightShape = append([]int(nil), n.WeightShape...)
+		c.OutShape = append([]int(nil), n.OutShape...)
+		nodes[i] = &c
+	}
+	return &Graph{Name: g.Name, Nodes: nodes}
+}

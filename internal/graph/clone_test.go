@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+func cloneFixture(t *testing.T) *Graph {
+	t.Helper()
+	g := New("clone-fixture")
+	in := g.AddInput("in", 3, 8, 8)
+	c1 := g.AddNode("conv1", OpConv, []int{in}, Attr{KernelH: 3, KernelW: 3, Stride: 1, Padding: 1}, []int{4, 3, 3, 3})
+	r1 := g.AddNode("relu1", OpReLU, []int{c1}, Attr{}, nil)
+	c2 := g.AddNode("conv2", OpConv, []int{in}, Attr{KernelH: 3, KernelW: 3, Stride: 1, Padding: 1}, []int{4, 3, 3, 3})
+	g.AddNode("add", OpAdd, []int{r1, c2}, Attr{}, nil)
+	if err := g.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestCloneMatchesJSONRoundTrip pins Clone to the encode/decode path it
+// replaces: both must produce byte-identical canonical encodings.
+func TestCloneMatchesJSONRoundTrip(t *testing.T) {
+	g := cloneFixture(t)
+	data, err := Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaJSON, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaClone := g.Clone()
+	if err := viaClone.InferShapes(); err != nil {
+		t.Fatal(err)
+	}
+	jsonEnc, err := Encode(viaJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloneEnc, err := Encode(viaClone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jsonEnc, cloneEnc) {
+		t.Fatalf("Clone diverges from JSON round trip:\nclone: %s\njson:  %s", cloneEnc, jsonEnc)
+	}
+}
+
+// TestCloneIsDeep verifies the clone shares no mutable state with the
+// original.
+func TestCloneIsDeep(t *testing.T) {
+	g := cloneFixture(t)
+	c := g.Clone()
+	c.Name = "mutated"
+	c.Nodes[1].Inputs[0] = 99
+	c.Nodes[1].WeightShape[0] = 99
+	c.Nodes[1].OutShape[0] = 99
+	c.Nodes[1].Attr.Stride = 99
+	if g.Name != "clone-fixture" {
+		t.Fatal("clone shares Name")
+	}
+	n := g.Nodes[1]
+	if n.Inputs[0] == 99 || n.WeightShape[0] == 99 || n.OutShape[0] == 99 || n.Attr.Stride == 99 {
+		t.Fatalf("clone shares node state: %+v", n)
+	}
+	// Nil and empty receivers.
+	if (*Graph)(nil).Clone() != nil {
+		t.Fatal("nil clone")
+	}
+}

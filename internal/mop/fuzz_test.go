@@ -1,0 +1,67 @@
+package mop_test
+
+import (
+	"testing"
+
+	"cimmlc/internal/arch"
+	"cimmlc/internal/codegen"
+	"cimmlc/internal/core"
+	"cimmlc/internal/models"
+	"cimmlc/internal/mop"
+)
+
+// seedFlows generates the flows the toy presets produce — conv-relu and mlp
+// on the Table-2 toy machine in all three computing modes (the Figure-16
+// walkthrough set) — as the fuzz corpus.
+func seedFlows(f *testing.F) []string {
+	f.Helper()
+	var texts []string
+	for _, model := range []string{"conv-relu", "mlp"} {
+		g, err := models.Build(model)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, mode := range []arch.Mode{arch.CM, arch.XBM, arch.WLM} {
+			a := arch.ToyExample()
+			a.Mode = mode
+			res, err := core.Compile(g, a, core.Options{})
+			if err != nil {
+				f.Fatal(err)
+			}
+			gen, err := codegen.Generate(g, a, res.Schedule, res.Placement, res.Model, codegen.Options{MaxWindowsPerOp: 4})
+			if err != nil {
+				f.Fatal(err)
+			}
+			texts = append(texts, gen.Flow.Print())
+		}
+	}
+	return texts
+}
+
+// FuzzParseFlow fuzzes the print→Parse round trip: any input that parses
+// must print to a canonical form that parses again to the same text, and
+// the parsed flow must pass validation (Parse promises validated flows).
+func FuzzParseFlow(f *testing.F) {
+	for _, text := range seedFlows(f) {
+		f.Add(text)
+	}
+	f.Add("flow mode=CM graph=g arch=a\ncompute:\n  mov(src=0, dst=1, len=1)\n")
+	f.Add("flow mode=XBM graph=g arch=a\ninit:\n  cim.writexb(xb=0, node=1, cellrow=0, cellcol=0, rows=2, cols=2)\ncompute:\n  parallel {\n    cim.readxb(xb=0, src=0, dst=4, stride=1, acc=0)\n  }\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		flow, err := mop.Parse(text)
+		if err != nil {
+			return // rejected inputs are fine; crashes and false accepts are not
+		}
+		if err := flow.Validate(); err != nil {
+			t.Fatalf("Parse returned an invalid flow: %v\ninput: %q", err, text)
+		}
+		printed := flow.Print()
+		back, err := mop.Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %v\nprinted: %q\ninput: %q", err, printed, text)
+		}
+		if again := back.Print(); again != printed {
+			t.Fatalf("print→parse→print is not a fixed point:\nfirst:  %q\nsecond: %q", printed, again)
+		}
+	})
+}

@@ -1,0 +1,329 @@
+package cimmlc
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cimmlc/internal/funcsim"
+	"cimmlc/internal/graph"
+	"cimmlc/internal/tensor"
+)
+
+// Program is an executable, immutable compilation artifact: the
+// shape-inferred graph, the optimized schedule, the generated meta-operator
+// flow, and a crossbar image with the weights already quantized, bit-sliced
+// and programmed. Building a Program pays the full compile + lower +
+// weight-programming cost exactly once; each Run then executes only the
+// flow's compute section against a pooled per-request execution state, the
+// stationary-weight serving model CIM hardware is built for.
+//
+// A Program is safe for concurrent use from many goroutines.
+type Program struct {
+	arch  Arch // private copy, never mutated
+	g     *Graph
+	res   *Result
+	fr    *FlowResult
+	w     Weights
+	calib map[int]*Tensor
+	img   *funcsim.Image
+	outs  []int // the graph's output node IDs
+
+	workers int
+
+	pool       sync.Pool // of *funcsim.State
+	requests   atomic.Uint64
+	poolHits   atomic.Uint64
+	poolMisses atomic.Uint64
+}
+
+// ProgramStats reports a program's serving counters.
+type ProgramStats struct {
+	// Requests is the number of successfully completed Run calls.
+	Requests uint64
+	// PoolHits counts runs that reused a pooled execution state;
+	// PoolMisses counts runs that had to allocate a fresh one.
+	PoolHits   uint64
+	PoolMisses uint64
+}
+
+// BuildOption configures Compiler.Build.
+type BuildOption func(*buildConfig)
+
+type buildConfig struct {
+	calib   map[int]*Tensor
+	workers int
+}
+
+// WithCalibration supplies the activation-calibration inputs used to fix
+// the program's quantization scales at build time. Calibration inputs
+// should be drawn from the same distribution as serving traffic; when
+// omitted, Build calibrates on deterministic pseudo-random inputs.
+func WithCalibration(inputs map[int]*Tensor) BuildOption {
+	return func(c *buildConfig) { c.calib = inputs }
+}
+
+// WithWorkers bounds RunBatch's worker pool; n <= 0 (the default) uses
+// GOMAXPROCS.
+func WithWorkers(n int) BuildOption {
+	return func(c *buildConfig) { c.workers = n }
+}
+
+// Build compiles g once for serving: it runs the full pass pipeline
+// (through the compiler's artifact cache), lowers the result to a
+// meta-operator flow, calibrates quantization, and programs the flow's
+// init section into an immutable crossbar image. The returned Program
+// serves any number of Run / RunBatch calls without recompiling or
+// reprogramming weights.
+//
+// The graph, weights and calibration tensors must not be mutated after
+// Build returns.
+func (c *Compiler) Build(ctx context.Context, g *Graph, w Weights, opt CodegenOptions, bopts ...BuildOption) (*Program, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if g == nil {
+		return nil, fmt.Errorf("cimmlc: Build: nil graph")
+	}
+	var cfg buildConfig
+	for _, o := range bopts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	res, err := c.Compile(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	fr, err := c.Lower(ctx, g, res, opt)
+	if err != nil {
+		return nil, err
+	}
+	p, err := c.newProgram(g, fr, w, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("cimmlc: Build: %w", err)
+	}
+	p.res = res
+	return p, nil
+}
+
+// newProgram assembles a Program around an already-lowered flow: it clones
+// and shape-infers the graph, calibrates an image, and programs the flow's
+// init section. Shared by Build and the one-shot Run/Verify wrappers.
+func (c *Compiler) newProgram(g *Graph, fr *FlowResult, w Weights, cfg buildConfig) (*Program, error) {
+	if fr == nil || fr.Flow == nil || fr.Layout == nil {
+		return nil, fmt.Errorf("nil flow result")
+	}
+	if fr.Truncated {
+		return nil, fmt.Errorf("flow was truncated by codegen (MaxWindowsPerOp); not executable")
+	}
+	// Validate once here: per-request execution (RunBody) skips it.
+	if err := fr.Flow.Validate(); err != nil {
+		return nil, err
+	}
+	gc, err := cloneGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	calib := cfg.calib
+	if calib == nil {
+		calib = defaultCalibration(gc)
+	}
+	p := &Program{
+		arch:    c.arch,
+		g:       gc,
+		fr:      fr,
+		w:       w,
+		calib:   calib,
+		outs:    gc.Outputs(),
+		workers: cfg.workers,
+	}
+	img, err := funcsim.NewImage(gc, &p.arch, fr.Layout, w, calib)
+	if err != nil {
+		return nil, err
+	}
+	if err := img.ProgramInit(fr.Flow.Init); err != nil {
+		return nil, err
+	}
+	p.img = img
+	return p, nil
+}
+
+// defaultCalibration generates deterministic pseudo-random inputs for every
+// Input node, giving the quantizers a symmetric activation range when the
+// caller has no calibration set.
+func defaultCalibration(g *Graph) map[int]*Tensor {
+	calib := map[int]*Tensor{}
+	for _, id := range g.InputIDs() {
+		n := g.MustNode(id)
+		t := tensor.New(n.OutShape...)
+		t.Rand(0x9e3779b97f4a7c15^uint64(id), 1)
+		calib[id] = t
+	}
+	return calib
+}
+
+// Run executes one inference: inputs are quantized with the program's
+// calibrated scales, the flow's compute section runs against a pooled
+// execution state, and the tensors of the graph's output nodes are
+// returned, keyed by node ID. (The deprecated Compiler.Run returns every
+// node's tensor; serving extracts only the network outputs.) Safe for
+// concurrent use.
+func (p *Program) Run(ctx context.Context, inputs map[int]*Tensor) (map[int]*Tensor, error) {
+	return p.run(ctx, inputs, false)
+}
+
+func (p *Program) run(ctx context.Context, inputs map[int]*Tensor, allNodes bool) (map[int]*Tensor, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	st := p.getState()
+	defer p.pool.Put(st)
+	m := p.img.Exec(st)
+	if err := m.LoadInputs(inputs); err != nil {
+		return nil, err
+	}
+	if err := m.RunBody(p.fr.Flow); err != nil {
+		return nil, err
+	}
+	m.SettleAll()
+	var out map[int]*Tensor
+	if allNodes {
+		out = m.Tensors()
+	} else {
+		out = m.TensorsOf(p.outs)
+	}
+	p.requests.Add(1)
+	return out, nil
+}
+
+// getState draws a reset execution state from the pool, allocating when
+// the pool is empty.
+func (p *Program) getState() *funcsim.State {
+	if v := p.pool.Get(); v != nil {
+		p.poolHits.Add(1)
+		st := v.(*funcsim.State)
+		p.img.Reset(st)
+		return st
+	}
+	p.poolMisses.Add(1)
+	return p.img.NewState()
+}
+
+// RunBatch executes one inference per request map, fanning the requests
+// across a bounded worker pool (WithWorkers, default GOMAXPROCS). Results
+// are returned in request order. The first error cancels the remaining
+// requests and is returned; partial results are discarded.
+func (p *Program) RunBatch(ctx context.Context, reqs []map[int]*Tensor) ([]map[int]*Tensor, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	outs := make([]map[int]*Tensor, len(reqs))
+	if len(reqs) == 0 {
+		return outs, ctx.Err()
+	}
+	workers := p.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) || ctx.Err() != nil {
+					return
+				}
+				out, err := p.Run(ctx, reqs[i])
+				if err != nil {
+					fail(fmt.Errorf("cimmlc: RunBatch: request %d: %w", i, err))
+					return
+				}
+				outs[i] = out
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr == nil {
+		// Workers exit silently when the parent context is cancelled;
+		// surface that as the batch error.
+		firstErr = ctx.Err()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return outs, nil
+}
+
+// Verify checks the program's execution of inputs bit-exactly against the
+// quantized reference executor (under the program's build-time calibration)
+// and within floatTol of the float reference.
+func (p *Program) Verify(ctx context.Context, inputs map[int]*Tensor, floatTol float64) error {
+	got, err := p.run(ctx, inputs, true)
+	if err != nil {
+		return err
+	}
+	// The reference paths re-run shape inference, so give them a private
+	// clone: p.g is shared by concurrent Run calls.
+	gc := p.g.Clone()
+	a := p.arch
+	want, err := funcsim.QuantReferenceCalib(gc, &a, p.w, p.calib, inputs)
+	if err != nil {
+		return err
+	}
+	ref, err := graph.Execute(gc, p.w, inputs)
+	if err != nil {
+		return err
+	}
+	return funcsim.CheckOutputs(gc, got, want, ref, floatTol)
+}
+
+// Stats returns a snapshot of the program's serving counters.
+func (p *Program) Stats() ProgramStats {
+	return ProgramStats{
+		Requests:   p.requests.Load(),
+		PoolHits:   p.poolHits.Load(),
+		PoolMisses: p.poolMisses.Load(),
+	}
+}
+
+// Result returns the compilation result the program was built from
+// (schedule, placement, performance report). Nil for programs created by
+// the deprecated one-shot Run/Verify wrappers.
+func (p *Program) Result() *Result { return p.res }
+
+// Flow returns the program's generated meta-operator flow and buffer
+// layout. Treat it as read-only.
+func (p *Program) Flow() *FlowResult { return p.fr }
+
+// Arch returns a copy of the architecture the program was built for.
+func (p *Program) Arch() *Arch {
+	a := p.arch
+	return &a
+}

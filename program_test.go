@@ -1,0 +1,277 @@
+package cimmlc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"cimmlc/internal/tensor"
+)
+
+// buildToyProgram compiles conv-relu onto toy-table2 and returns the
+// pieces shared by the Program tests.
+func buildToyProgram(t testing.TB, bopts ...BuildOption) (*Compiler, *Graph, Weights, map[int]*Tensor, *Program) {
+	t.Helper()
+	g, err := Model("conv-relu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Preset("toy-table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := RandomWeights(g, 1)
+	in := NewTensor(3, 32, 32)
+	in.Rand(2, 1)
+	inputs := map[int]*Tensor{0: in}
+	p, err := c.Build(context.Background(), g, w, CodegenOptions{}, append([]BuildOption{WithCalibration(inputs)}, bopts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, g, w, inputs, p
+}
+
+// sameOutputs checks every tensor in got bit-exactly against want; want may
+// carry more nodes (the deprecated Run returns all of them, Program.Run
+// only the graph outputs).
+func sameOutputs(t *testing.T, got, want map[int]*Tensor) {
+	t.Helper()
+	if len(got) == 0 {
+		t.Fatal("no outputs")
+	}
+	for id, gt := range got {
+		if !tensor.AllClose(gt, want[id], 0) {
+			d, _ := tensor.MaxAbsDiff(gt, want[id])
+			t.Fatalf("node %d diverges by %g", id, d)
+		}
+	}
+}
+
+// TestProgramMatchesOneShot pins Program.Run to the deprecated one-shot
+// path: with the program calibrated on the same inputs, both must produce
+// bit-identical tensors, and both must verify against the references.
+func TestProgramMatchesOneShot(t *testing.T) {
+	ctx := context.Background()
+	c, g, w, inputs, p := buildToyProgram(t)
+
+	fr, err := c.Lower(ctx, g, p.Result(), CodegenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Run(ctx, g, fr, w, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Verify(ctx, g, fr, w, inputs, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(ctx, inputs, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := p.Run(ctx, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(g.Outputs()) {
+			t.Fatalf("Run returned %d tensors, want the %d graph outputs", len(got), len(g.Outputs()))
+		}
+		sameOutputs(t, got, want)
+	}
+	st := p.Stats()
+	if st.Requests != 4 { // Verify + 3 runs
+		t.Fatalf("requests = %d, want 4", st.Requests)
+	}
+	// sync.Pool intentionally drops items at random under the race
+	// detector, so only the accounting identity is exact.
+	if st.PoolHits+st.PoolMisses != st.Requests {
+		t.Fatalf("pool accounting %+v does not add up", st)
+	}
+	if p.Result() == nil || p.Result().Report.Cycles <= 0 {
+		t.Fatal("program lost its compilation result")
+	}
+	if p.Flow() == nil || p.Flow().Flow == nil {
+		t.Fatal("program lost its flow")
+	}
+}
+
+// TestProgramConcurrentRuns exercises the acceptance criterion: many
+// goroutines share one Program and every output must be bit-identical to
+// the reference the deprecated Verify path checks against. Run with -race.
+func TestProgramConcurrentRuns(t *testing.T) {
+	ctx := context.Background()
+	c, g, w, inputs, p := buildToyProgram(t)
+
+	fr, err := c.Lower(ctx, g, p.Result(), CodegenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c.Verify checks flow output == quantized reference bit-exactly, so
+	// the one-shot Run output below *is* Verify's reference.
+	if err := c.Verify(ctx, g, fr, w, inputs, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Run(ctx, g, fr, w, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const runsEach = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < runsEach; r++ {
+				got, err := p.Run(ctx, inputs)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(got) == 0 {
+					errs <- fmt.Errorf("no outputs")
+					return
+				}
+				for id, gt := range got {
+					if !tensor.AllClose(gt, want[id], 0) {
+						errs <- fmt.Errorf("node %d diverges from reference", id)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Requests != goroutines*runsEach {
+		t.Fatalf("requests = %d, want %d", st.Requests, goroutines*runsEach)
+	}
+	if st.PoolHits+st.PoolMisses != st.Requests {
+		t.Fatalf("pool accounting %+v does not add up", st)
+	}
+}
+
+// TestProgramRunBatch checks batch fan-out: results in request order, each
+// bit-identical to a sequential Run of the same inputs.
+func TestProgramRunBatch(t *testing.T) {
+	ctx := context.Background()
+	_, _, _, _, p := buildToyProgram(t, WithWorkers(4))
+
+	const n = 12
+	reqs := make([]map[int]*Tensor, n)
+	want := make([]map[int]*Tensor, n)
+	for i := range reqs {
+		in := NewTensor(3, 32, 32)
+		in.Rand(uint64(100+i), 1)
+		reqs[i] = map[int]*Tensor{0: in}
+		out, err := p.Run(ctx, reqs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = out
+	}
+	outs, err := p.RunBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != n {
+		t.Fatalf("got %d results, want %d", len(outs), n)
+	}
+	for i := range outs {
+		sameOutputs(t, outs[i], want[i])
+	}
+	// Empty batch and cancelled context.
+	if outs, err := p.RunBatch(ctx, nil); err != nil || len(outs) != 0 {
+		t.Fatalf("empty batch: %v, %v", outs, err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := p.RunBatch(cctx, reqs); err == nil {
+		t.Fatal("cancelled batch succeeded")
+	}
+}
+
+// TestProgramBatchPropagatesError ensures a bad request surfaces its error
+// and fails the batch.
+func TestProgramBatchPropagatesError(t *testing.T) {
+	_, _, _, inputs, p := buildToyProgram(t)
+	bad := NewTensor(3, 3) // wrong shape for the input region
+	if _, err := p.RunBatch(context.Background(), []map[int]*Tensor{inputs, {0: bad}}); err == nil {
+		t.Fatal("batch with bad request succeeded")
+	}
+}
+
+// TestProgramDefaultCalibration builds without WithCalibration and checks
+// the program still runs and verifies within the float tolerance.
+func TestProgramDefaultCalibration(t *testing.T) {
+	g, _ := Model("conv-relu")
+	a, _ := Preset("toy-table2")
+	c, err := New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := RandomWeights(g, 1)
+	p, err := c.Build(context.Background(), g, w, CodegenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewTensor(3, 32, 32)
+	in.Rand(7, 1)
+	if err := p.Verify(context.Background(), map[int]*Tensor{0: in}, 0.05); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildRejectsTruncatedFlow: a flow cut short by MaxWindowsPerOp is not
+// executable and must be rejected at Build time, not at Run time.
+func TestBuildRejectsTruncatedFlow(t *testing.T) {
+	g, _ := Model("conv-relu")
+	a, _ := Preset("toy-table2")
+	c, err := New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := RandomWeights(g, 1)
+	if _, err := c.Build(context.Background(), g, w, CodegenOptions{MaxWindowsPerOp: 2}); err == nil {
+		t.Fatal("Build accepted a truncated flow")
+	}
+	if _, err := c.Build(context.Background(), nil, w, CodegenOptions{}); err == nil {
+		t.Fatal("Build accepted a nil graph")
+	}
+}
+
+// TestProgramLeavesCallerGraphAlone: Build must not mutate the caller's
+// graph (it clones before shape inference).
+func TestProgramLeavesCallerGraphAlone(t *testing.T) {
+	g, _ := Model("conv-relu")
+	// Strip inferred shapes of non-input nodes; Build must not restore them
+	// on the caller's copy.
+	for _, n := range g.Nodes[1:] {
+		n.OutShape = nil
+	}
+	a, _ := Preset("toy-table2")
+	c, err := New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := RandomWeights(g, 1)
+	if _, err := c.Build(context.Background(), g, w, CodegenOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range g.Nodes[1:] {
+		if n.OutShape != nil {
+			t.Fatalf("Build mutated caller graph node %d", n.ID)
+		}
+	}
+}
