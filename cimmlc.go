@@ -235,6 +235,13 @@ func ParseFlow(text string) (*Flow, error) { return mop.Parse(text) }
 // NewTensor returns a zero tensor with the given shape.
 func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
 
+// TensorFromSlice wraps data in a tensor of the given shape. The slice is
+// used directly (not copied) and must have exactly the number of elements
+// the shape implies.
+func TensorFromSlice(data []float32, shape ...int) (*Tensor, error) {
+	return tensor.FromSlice(data, shape...)
+}
+
 // RandomWeights returns deterministic pseudo-random weights for a graph.
 func RandomWeights(g *Graph, seed uint64) Weights { return graph.RandomWeights(g, seed) }
 

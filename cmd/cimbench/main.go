@@ -9,6 +9,7 @@
 //	cimbench -json fig20a    # machine-readable results
 //	cimbench -flows fig16    # print the full Figure-16 flows
 //	cimbench -serving -json  # compile-once serving smoke (CI artifact)
+//	cimbench -loadgen -json  # micro-batching vs per-request load generator
 package main
 
 import (
@@ -29,9 +30,13 @@ func main() {
 	flows := flag.String("flows", "", "print the generated flows of the named experiment (fig16)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of formatted tables")
 	serving := flag.Bool("serving", false, "run the compile-once serving smoke instead of experiments")
-	servingModel := flag.String("serving-model", "conv-relu", "zoo model for -serving")
-	servingArch := flag.String("serving-arch", "toy-table2", "preset architecture for -serving")
+	servingModel := flag.String("serving-model", "conv-relu", "zoo model for -serving / -loadgen")
+	servingArch := flag.String("serving-arch", "toy-table2", "preset architecture for -serving / -loadgen")
 	servingReqs := flag.Int("serving-requests", 32, "requests to serve in -serving")
+	loadgen := flag.Bool("loadgen", false, "run the micro-batching load generator instead of experiments")
+	loadgenReqs := flag.Int("loadgen-requests", 256, "requests per path in -loadgen")
+	loadgenClients := flag.Int("loadgen-clients", 16, "concurrent clients hitting the batcher in -loadgen")
+	loadgenBatch := flag.Int("loadgen-batch", 8, "micro-batch size trigger in -loadgen")
 	flag.Parse()
 
 	if *list {
@@ -42,6 +47,13 @@ func main() {
 	}
 	if *serving {
 		if err := runServing(*servingModel, *servingArch, *servingReqs, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "cimbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *loadgen {
+		if err := runLoadgen(*servingModel, *servingArch, *loadgenReqs, *loadgenClients, *loadgenBatch, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "cimbench: %v\n", err)
 			os.Exit(1)
 		}

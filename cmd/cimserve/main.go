@@ -1,0 +1,123 @@
+// Command cimserve is the CIM-MLC serving gateway: an HTTP server that
+// routes inference requests to compiled Programs, one per (model, arch)
+// pair, each fronted by a dynamic micro-batching queue.
+//
+// Usage:
+//
+//	cimserve                                     # serve on :8080
+//	cimserve -addr :9000 -max-batch 16           # tune the batcher
+//	cimserve -arch-file my-accelerator.json      # register a user arch
+//	cimserve -preload conv-relu:toy-table2       # build before first request
+//
+// Routes:
+//
+//	GET  /healthz    liveness (503 while draining)
+//	GET  /v1/models  servable models, archs and resident programs
+//	POST /v1/archs   register a user architecture (body: arch JSON)
+//	POST /v1/run     run one inference (body: serving.RunRequest JSON)
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/run \
+//	  -d '{"model":"conv-relu","arch":"toy-table2","seed":1}'
+//
+// SIGINT/SIGTERM trigger a graceful drain: queued requests finish, new
+// ones are rejected, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"cimmlc/serving"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxBatch := flag.Int("max-batch", 8, "micro-batch size trigger")
+	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "micro-batch deadline trigger")
+	queue := flag.Int("queue", 0, "submit queue capacity (0 = 4×max-batch)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout, queueing included")
+	seed := flag.Uint64("weight-seed", 42, "seed for the zoo models' deterministic weights")
+	var archFiles, preloads stringList
+	flag.Var(&archFiles, "arch-file", "architecture JSON file to register (repeatable)")
+	flag.Var(&preloads, "preload", "model:arch pair to build at startup (repeatable)")
+	flag.Parse()
+
+	if err := run(*addr, *maxBatch, *maxDelay, *queue, *timeout, *seed, archFiles, preloads); err != nil {
+		fmt.Fprintf(os.Stderr, "cimserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, maxBatch int, maxDelay time.Duration, queue int, timeout time.Duration, seed uint64, archFiles, preloads []string) error {
+	reg := serving.NewRegistry(serving.WithWeightSeed(seed))
+	for _, f := range archFiles {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		name, err := reg.RegisterArchJSON(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		fmt.Printf("registered architecture %q from %s\n", name, f)
+	}
+	gw := serving.NewServer(reg, serving.ServerConfig{
+		Batch:          serving.BatcherConfig{MaxBatch: maxBatch, MaxDelay: maxDelay, Queue: queue},
+		RequestTimeout: timeout,
+	})
+	for _, p := range preloads {
+		model, arch, ok := strings.Cut(p, ":")
+		if !ok {
+			return fmt.Errorf("-preload %q: want model:arch", p)
+		}
+		start := time.Now()
+		if _, err := reg.Get(context.Background(), model, arch); err != nil {
+			return fmt.Errorf("-preload %s: %w", p, err)
+		}
+		fmt.Printf("preloaded %s on %s in %v\n", model, arch, time.Since(start).Round(time.Millisecond))
+	}
+
+	srv := &http.Server{Addr: addr, Handler: gw.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("cimserve listening on %s (batch %d, delay %v)\n", addr, maxBatch, maxDelay)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("received %v, draining\n", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// Stop accepting connections first, then drain the batchers so queued
+	// requests still get answers.
+	err := srv.Shutdown(ctx)
+	gw.Close()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("drained cleanly")
+	return nil
+}
+
+// stringList is a repeatable flag.
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}

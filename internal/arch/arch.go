@@ -10,6 +10,7 @@ package arch
 
 import (
 	"fmt"
+	"strings"
 )
 
 // Mode is the computing-mode abstraction (Abs-com). The mode names the
@@ -59,6 +60,20 @@ const (
 	NoCDisjointBS NoCType = "DisjointBufferSwitch"
 	NoCIdeal      NoCType = "Ideal" // parameters "considered ideal" in the paper ("\")
 )
+
+// Valid reports whether t is a known NoC topology.
+func (t NoCType) Valid() bool {
+	switch t {
+	case NoCMesh, NoCHTree, NoCSharedBus, NoCDisjointBS, NoCIdeal:
+		return true
+	}
+	return false
+}
+
+// NoCTypeNames lists the known NoC topology names, for error messages.
+func NoCTypeNames() []string {
+	return []string{string(NoCMesh), string(NoCHTree), string(NoCSharedBus), string(NoCDisjointBS), string(NoCIdeal)}
+}
 
 // ChipTier holds the chip-tier architecture parameters (Figure 5).
 type ChipTier struct {
@@ -158,7 +173,13 @@ func (a *Arch) Validate() error {
 		return fmt.Errorf("arch %q: DAC/ADC precision must be positive", a.Name)
 	}
 	if !a.XB.Device.Valid() {
-		return fmt.Errorf("arch %q: unknown device %q", a.Name, a.XB.Device)
+		return fmt.Errorf("arch %q: unknown device %q (available: %s)", a.Name, a.XB.Device, strings.Join(DeviceNames(), ", "))
+	}
+	if !a.Chip.CoreNoC.Valid() {
+		return fmt.Errorf("arch %q: unknown core NoC %q (available: %s)", a.Name, a.Chip.CoreNoC, strings.Join(NoCTypeNames(), ", "))
+	}
+	if !a.Core.XBNoC.Valid() {
+		return fmt.Errorf("arch %q: unknown crossbar NoC %q (available: %s)", a.Name, a.Core.XBNoC, strings.Join(NoCTypeNames(), ", "))
 	}
 	if a.WeightBits <= 0 || a.ActBits <= 0 {
 		return fmt.Errorf("arch %q: weight/activation bits must be positive", a.Name)

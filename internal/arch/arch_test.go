@@ -209,13 +209,13 @@ func TestDeviceProfiles(t *testing.T) {
 	}
 }
 
-func TestDeviceProfilePanicsOnUnknown(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Profile of unknown device did not panic")
-		}
-	}()
-	Device("bogus").Profile()
+func TestDeviceProfileUnknownFallsBack(t *testing.T) {
+	// Unknown devices are rejected by Validate; Profile itself must never
+	// panic and falls back to the neutral SRAM-like profile.
+	p := Device("bogus").Profile()
+	if p.ReadLatency != 1 || p.WriteLatency != 1 || !p.WritesAllowed {
+		t.Fatalf("unknown device profile = %+v, want neutral fallback", p)
+	}
 }
 
 func TestJSONRoundTrip(t *testing.T) {

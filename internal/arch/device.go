@@ -1,7 +1,5 @@
 package arch
 
-import "fmt"
-
 // Device identifies the memory-cell technology of a crossbar. The paper's
 // first diversity axis (§2.1): device type fixes the relative read/write
 // costs that drive scheduling — SRAM tolerates frequent weight updates,
@@ -23,6 +21,11 @@ func (d Device) Valid() bool {
 		return true
 	}
 	return false
+}
+
+// DeviceNames lists the known device technologies, for error messages.
+func DeviceNames() []string {
+	return []string{string(SRAM), string(ReRAM), string(Flash), string(PCM), string(STTMRAM)}
 }
 
 // DeviceProfile carries the technology-dependent cost constants the
@@ -55,5 +58,9 @@ func (d Device) Profile() DeviceProfile {
 	case STTMRAM:
 		return DeviceProfile{ReadLatency: 1, WriteLatency: 10, ReadEnergy: 1.5, WriteEnergy: 10, WritesAllowed: true}
 	}
-	panic(fmt.Sprintf("arch: no profile for device %q", d))
+	// Unknown devices are rejected by Arch.Validate at decode/preset time,
+	// so this branch is unreachable for any Arch the compiler accepts.
+	// Return the neutral SRAM-like profile rather than panicking so a
+	// hand-constructed Arch can never crash a serving process.
+	return DeviceProfile{ReadLatency: 1, WriteLatency: 1, ReadEnergy: 1, WriteEnergy: 1, WritesAllowed: true}
 }

@@ -1,7 +1,5 @@
 package arch
 
-import "fmt"
-
 // Coord addresses a unit (core or crossbar) on a 2-D grid.
 type Coord struct {
 	Row, Col int
@@ -54,7 +52,11 @@ func HopDistance(noc NoCType, a, b Coord, gridRows, gridCols int) float64 {
 	case NoCIdeal:
 		return 0
 	}
-	panic(fmt.Sprintf("arch: unknown NoC type %q", noc))
+	// Unknown topologies are rejected by Arch.Validate at decode/preset
+	// time, so this branch is unreachable for any Arch the compiler
+	// accepts. Fall back to the uniform bus cost rather than panicking so
+	// a hand-constructed Arch can never crash a serving process.
+	return 1
 }
 
 // CoreTransferCycles returns the cycles needed to move `bits` of data from

@@ -38,13 +38,20 @@ func TestBusAndIdealDistance(t *testing.T) {
 	}
 }
 
-func TestHopDistancePanicsOnUnknownNoC(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unknown NoC did not panic")
+func TestHopDistanceUnknownNoCFallsBack(t *testing.T) {
+	// Unknown topologies are rejected by Validate; HopDistance itself must
+	// never panic and falls back to the uniform bus cost.
+	if d := HopDistance(NoCType("warp"), Coord{0, 0}, Coord{1, 1}, 2, 2); d != 1 {
+		t.Fatalf("unknown NoC distance = %v, want bus fallback 1", d)
+	}
+	if NoCType("warp").Valid() {
+		t.Fatal("unknown NoC reported valid")
+	}
+	for _, n := range NoCTypeNames() {
+		if !NoCType(n).Valid() {
+			t.Fatalf("listed NoC type %q not valid", n)
 		}
-	}()
-	HopDistance(NoCType("warp"), Coord{0, 0}, Coord{1, 1}, 2, 2)
+	}
 }
 
 func TestCoreCoordRoundTrip(t *testing.T) {

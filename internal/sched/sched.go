@@ -10,6 +10,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 
 	"cimmlc/internal/arch"
 	"cimmlc/internal/graph"
@@ -133,7 +134,11 @@ func (s *Schedule) Validate() error {
 			}
 		}
 	}
-	for id, d := range s.Dup {
+	// Walk the decision maps in sorted node-ID order so the first
+	// validation error is deterministic across runs (Go map iteration
+	// order is randomized).
+	for _, id := range sortedKeys(s.Dup) {
+		d := s.Dup[id]
 		if d < 1 {
 			return fmt.Errorf("sched: node %d has dup %d", id, d)
 		}
@@ -141,7 +146,8 @@ func (s *Schedule) Validate() error {
 			return fmt.Errorf("sched: dup set on non-CIM node %d", id)
 		}
 	}
-	for id, m := range s.Remap {
+	for _, id := range sortedKeys(s.Remap) {
+		m := s.Remap[id]
 		if m < 1 {
 			return fmt.Errorf("sched: node %d has remap %d", id, m)
 		}
@@ -163,11 +169,11 @@ func (s *Schedule) Clone() *Schedule {
 		Pipeline: s.Pipeline,
 		Stagger:  s.Stagger,
 	}
-	for k, v := range s.Dup {
-		c.Dup[k] = v
+	for _, k := range sortedKeys(s.Dup) {
+		c.Dup[k] = s.Dup[k]
 	}
-	for k, v := range s.Remap {
-		c.Remap[k] = v
+	for _, k := range sortedKeys(s.Remap) {
+		c.Remap[k] = s.Remap[k]
 	}
 	for _, seg := range s.Segments {
 		cp := make([]int, len(seg))
@@ -176,6 +182,16 @@ func (s *Schedule) Clone() *Schedule {
 	}
 	c.Levels = append(c.Levels, s.Levels...)
 	return c
+}
+
+// sortedKeys returns m's keys in ascending order.
+func sortedKeys(m map[int]int) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
 }
 
 func valueOr(m map[int]int, key, def int) int {

@@ -79,6 +79,48 @@ func TestValidateCatchesProblems(t *testing.T) {
 	}
 }
 
+func TestValidateErrorsAreDeterministic(t *testing.T) {
+	// Several invalid entries at once: Validate must always report the same
+	// one (the lowest node ID), regardless of map iteration order.
+	g := models.ConvReLU()
+	a := arch.ToyExample()
+	mutations := []struct {
+		name string
+		mut  func(*Schedule)
+		want string
+	}{
+		{"dup", func(s *Schedule) {
+			for _, id := range []int{50, 60, 70, 80} {
+				s.Dup[id] = 2
+			}
+		}, "sched: dup set on non-CIM node 50"},
+		{"remap", func(s *Schedule) {
+			for _, id := range []int{41, 52, 63, 74} {
+				s.Remap[id] = 0
+			}
+		}, "sched: node 41 has remap 0"},
+	}
+	for _, m := range mutations {
+		first := ""
+		for i := 0; i < 50; i++ {
+			s := NewSequential(g, a)
+			m.mut(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("%s: not caught", m.name)
+			}
+			if i == 0 {
+				first = err.Error()
+				if first != m.want {
+					t.Fatalf("%s: error %q, want %q", m.name, first, m.want)
+				}
+			} else if err.Error() != first {
+				t.Fatalf("%s: nondeterministic error: %q vs %q", m.name, err.Error(), first)
+			}
+		}
+	}
+}
+
 func TestValidateAllowsCrossSegmentOrder(t *testing.T) {
 	g := models.ConvReLU()
 	s := NewSequential(g, arch.ToyExample())

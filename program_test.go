@@ -3,6 +3,7 @@ package cimmlc
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -199,6 +200,44 @@ func TestProgramRunBatch(t *testing.T) {
 	cancel()
 	if _, err := p.RunBatch(cctx, reqs); err == nil {
 		t.Fatal("cancelled batch succeeded")
+	}
+}
+
+// TestProgramRunBatchSingleWorker pins the workers==1 inline fast path:
+// same ordering and bit-identity guarantees as the fan-out path, without
+// worker goroutines.
+func TestProgramRunBatchSingleWorker(t *testing.T) {
+	ctx := context.Background()
+	_, _, _, _, p := buildToyProgram(t, WithWorkers(1))
+	const n = 4
+	reqs := make([]map[int]*Tensor, n)
+	want := make([]map[int]*Tensor, n)
+	for i := range reqs {
+		in := NewTensor(3, 32, 32)
+		in.Rand(uint64(300+i), 1)
+		reqs[i] = map[int]*Tensor{0: in}
+		out, err := p.Run(ctx, reqs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = out
+	}
+	outs, err := p.RunBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range outs {
+		sameOutputs(t, outs[i], want[i])
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := p.RunBatch(cctx, reqs); err == nil {
+		t.Fatal("cancelled single-worker batch succeeded")
+	}
+	bad := NewTensor(2, 2)
+	_, err = p.RunBatch(ctx, []map[int]*Tensor{reqs[0], {0: bad}})
+	if err == nil || !strings.Contains(err.Error(), "request 1") {
+		t.Fatalf("bad request error %v should name request 1", err)
 	}
 }
 

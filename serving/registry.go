@@ -1,0 +1,285 @@
+// Package serving turns compiled cimmlc Programs into a servable system:
+// a concurrency-safe registry of lazily-built (model, arch) Programs, a
+// dynamic micro-batching queue in front of each Program, and an HTTP
+// gateway (see cmd/cimserve) that routes inference requests to them.
+//
+// The registry is the front door for multi-model, multi-architecture
+// serving: many models compiled for many CIM architecture presets stay
+// resident at once, each built exactly once on first use. The batcher
+// amortizes per-request dispatch by accumulating requests until a size or
+// deadline trigger fires and flushing them through Program.RunBatch's
+// bounded worker pool — the dynamic micro-batching strategy GPU/CIM
+// serving stacks use to trade a bounded queueing delay for throughput.
+package serving
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"cimmlc"
+)
+
+// ModelSource resolves a model name to a graph and its weights. The default
+// source builds zoo models with deterministic pseudo-random weights; a real
+// deployment supplies one that loads trained checkpoints.
+type ModelSource func(name string) (*cimmlc.Graph, cimmlc.Weights, error)
+
+// RegistryOption configures NewRegistry.
+type RegistryOption func(*Registry)
+
+// WithModelSource replaces the default zoo-backed model source.
+func WithModelSource(src ModelSource) RegistryOption {
+	return func(r *Registry) { r.source = src }
+}
+
+// WithWeightSeed sets the seed the default model source derives weights
+// from (default 42). Ignored when WithModelSource is supplied.
+func WithWeightSeed(seed uint64) RegistryOption {
+	return func(r *Registry) { r.seed = seed }
+}
+
+// WithBuildOptions appends build options (calibration, worker bounds) used
+// for every Program the registry builds.
+func WithBuildOptions(opts ...cimmlc.BuildOption) RegistryOption {
+	return func(r *Registry) { r.buildOpts = append(r.buildOpts, opts...) }
+}
+
+// Registry maps (model, arch) keys to lazily-built, cached Programs. It is
+// safe for concurrent use: concurrent Gets of the same key coalesce so the
+// expensive Build (compile + lower + weight programming) runs exactly once,
+// and distinct keys build in parallel. Architecture names resolve against
+// explicitly registered architectures first, then the built-in presets;
+// all names are case-insensitive.
+type Registry struct {
+	source    ModelSource
+	seed      uint64
+	buildOpts []cimmlc.BuildOption
+
+	mu        sync.Mutex
+	archs     map[string]struct{}         // registered names, key: lower(name)
+	compilers map[string]*cimmlc.Compiler // key: lower(arch name)
+	programs  map[Key]*progEntry
+	builds    atomic.Uint64
+}
+
+// Key identifies one resident Program.
+type Key struct {
+	Model string `json:"model"`
+	Arch  string `json:"arch"`
+}
+
+type progEntry struct {
+	done chan struct{} // closed when the build finishes
+	p    *cimmlc.Program
+	err  error
+}
+
+// NewRegistry returns an empty registry. Programs are built on first Get.
+func NewRegistry(opts ...RegistryOption) *Registry {
+	r := &Registry{
+		seed:      42,
+		archs:     map[string]struct{}{},
+		compilers: map[string]*cimmlc.Compiler{},
+		programs:  map[Key]*progEntry{},
+	}
+	for _, o := range opts {
+		if o != nil {
+			o(r)
+		}
+	}
+	if r.source == nil {
+		seed := r.seed
+		r.source = func(name string) (*cimmlc.Graph, cimmlc.Weights, error) {
+			g, err := cimmlc.Model(name)
+			if err != nil {
+				return nil, nil, err
+			}
+			return g, cimmlc.RandomWeights(g, seed), nil
+		}
+	}
+	return r
+}
+
+// RegisterArch validates and registers a user-supplied architecture under
+// its own name, shadowing any preset of the same name. Invalid
+// architectures are rejected here — this is the boundary that turns a
+// malformed user arch description into an error instead of a crash.
+func (r *Registry) RegisterArch(a *cimmlc.Arch) error {
+	if a == nil {
+		return fmt.Errorf("serving: RegisterArch: nil architecture")
+	}
+	// New validates the description and snapshots it; keeping the compiler
+	// means the first Get for this arch pays no extra setup.
+	c, err := cimmlc.New(a)
+	if err != nil {
+		return err
+	}
+	key := strings.ToLower(a.Name)
+	r.mu.Lock()
+	r.archs[key] = struct{}{}
+	r.compilers[key] = c
+	r.mu.Unlock()
+	return nil
+}
+
+// RegisterArchJSON decodes, validates and registers an architecture from
+// its JSON description, returning the registered name.
+func (r *Registry) RegisterArchJSON(data []byte) (string, error) {
+	a, err := cimmlc.DecodeArch(data)
+	if err != nil {
+		return "", err
+	}
+	if err := r.RegisterArch(a); err != nil {
+		return "", err
+	}
+	return a.Name, nil
+}
+
+// compiler resolves an architecture name to its (cached) Compiler,
+// consulting registered architectures first and presets second.
+func (r *Registry) compiler(name string) (*cimmlc.Compiler, error) {
+	key := strings.ToLower(name)
+	r.mu.Lock()
+	c, ok := r.compilers[key]
+	r.mu.Unlock()
+	if ok {
+		return c, nil
+	}
+	a, err := cimmlc.Preset(name)
+	if err != nil {
+		return nil, err
+	}
+	c, err = cimmlc.New(a)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	// Another goroutine may have raced us here; keep the first one so every
+	// caller shares one compiler (and its artifact cache) per arch.
+	if prev, ok := r.compilers[key]; ok {
+		c = prev
+	} else {
+		r.compilers[key] = c
+	}
+	r.mu.Unlock()
+	return c, nil
+}
+
+// Get returns the Program for (model, arch), building it on first use.
+// Concurrent Gets of the same key wait for a single in-flight build, which
+// runs detached from any one caller's context — one client's timeout or
+// disconnect must not fail the build for everyone coalesced on it. Each
+// waiter still honors its own ctx. A failed build is not cached, so a
+// later Get retries.
+func (r *Registry) Get(ctx context.Context, model, archName string) (*cimmlc.Program, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	key := Key{Model: strings.ToLower(model), Arch: strings.ToLower(archName)}
+
+	r.mu.Lock()
+	e, ok := r.programs[key]
+	if !ok {
+		e = &progEntry{done: make(chan struct{})}
+		r.programs[key] = e
+		go func() {
+			e.p, e.err = r.build(context.WithoutCancel(ctx), model, archName)
+			if e.err != nil {
+				// Drop the failed entry so the next Get retries; waiters
+				// already holding e still see e.err.
+				r.mu.Lock()
+				if r.programs[key] == e {
+					delete(r.programs, key)
+				}
+				r.mu.Unlock()
+			}
+			close(e.done)
+		}()
+	}
+	r.mu.Unlock()
+
+	select {
+	case <-e.done:
+		return e.p, e.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (r *Registry) build(ctx context.Context, model, archName string) (*cimmlc.Program, error) {
+	c, err := r.compiler(archName)
+	if err != nil {
+		return nil, err
+	}
+	g, w, err := r.source(model)
+	if err != nil {
+		return nil, err
+	}
+	r.builds.Add(1)
+	return c.Build(ctx, g, w, cimmlc.CodegenOptions{}, r.buildOpts...)
+}
+
+// ProgramInfo describes one resident Program for introspection endpoints.
+type ProgramInfo struct {
+	Key   Key                 `json:"key"`
+	Stats cimmlc.ProgramStats `json:"stats"`
+}
+
+// Loaded lists the successfully built resident Programs in sorted key
+// order, with their serving counters.
+func (r *Registry) Loaded() []ProgramInfo {
+	r.mu.Lock()
+	entries := make(map[Key]*progEntry, len(r.programs))
+	for k, e := range r.programs {
+		entries[k] = e
+	}
+	r.mu.Unlock()
+	var infos []ProgramInfo
+	for k, e := range entries {
+		select {
+		case <-e.done:
+			if e.err == nil {
+				infos = append(infos, ProgramInfo{Key: k, Stats: e.p.Stats()})
+			}
+		default: // build still in flight
+		}
+	}
+	sort.Slice(infos, func(i, j int) bool {
+		if infos[i].Key.Model != infos[j].Key.Model {
+			return infos[i].Key.Model < infos[j].Key.Model
+		}
+		return infos[i].Key.Arch < infos[j].Key.Arch
+	})
+	return infos
+}
+
+// Archs lists the explicitly registered architecture names followed by the
+// built-in presets, each group sorted.
+func (r *Registry) Archs() []string {
+	r.mu.Lock()
+	var names []string
+	for name := range r.archs {
+		names = append(names, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	for _, p := range cimmlc.Presets() {
+		if !slices.Contains(names, strings.ToLower(p)) {
+			names = append(names, strings.ToLower(p))
+		}
+	}
+	return names
+}
+
+// Models lists the model names the default source can build. Registries
+// with a custom ModelSource serve whatever that source accepts; this
+// listing still reports the zoo for discoverability.
+func (r *Registry) Models() []string { return cimmlc.ModelNames() }
+
+// Builds reports how many Program builds have run (cache misses).
+func (r *Registry) Builds() uint64 { return r.builds.Load() }

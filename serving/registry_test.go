@@ -1,0 +1,120 @@
+package serving
+
+import (
+	"context"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cimmlc"
+)
+
+// TestRegistryConcurrentGetBuildsOnce hammers one key from 8 goroutines:
+// exactly one Build may run, and every caller must get the same Program.
+// Run under -race in CI.
+func TestRegistryConcurrentGetBuildsOnce(t *testing.T) {
+	var sourceCalls atomic.Int64
+	r := NewRegistry(WithModelSource(func(name string) (*cimmlc.Graph, cimmlc.Weights, error) {
+		sourceCalls.Add(1)
+		g, err := cimmlc.Model(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		return g, cimmlc.RandomWeights(g, 1), nil
+	}))
+	const goroutines = 8
+	var wg sync.WaitGroup
+	progs := make([]*cimmlc.Program, goroutines)
+	errs := make([]error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			progs[i], errs[i] = r.Get(context.Background(), "conv-relu", "toy-table2")
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if progs[i] != progs[0] {
+			t.Fatalf("goroutine %d got a different Program instance", i)
+		}
+	}
+	if n := sourceCalls.Load(); n != 1 {
+		t.Fatalf("model source ran %d times, want exactly 1", n)
+	}
+	if n := r.Builds(); n != 1 {
+		t.Fatalf("registry counted %d builds, want exactly 1", n)
+	}
+	if loaded := r.Loaded(); len(loaded) != 1 || loaded[0].Key != (Key{Model: "conv-relu", Arch: "toy-table2"}) {
+		t.Fatalf("loaded = %+v, want the one built key", loaded)
+	}
+}
+
+func TestRegistryUnknownNames(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Get(context.Background(), "no-such-model", "toy-table2"); err == nil || !strings.Contains(err.Error(), "available:") {
+		t.Fatalf("unknown model: got %v, want available-listing error", err)
+	}
+	if _, err := r.Get(context.Background(), "conv-relu", "no-such-arch"); err == nil || !strings.Contains(err.Error(), "available:") {
+		t.Fatalf("unknown arch: got %v, want available-listing error", err)
+	}
+}
+
+func TestRegistryFailedBuildRetries(t *testing.T) {
+	var calls atomic.Int64
+	r := NewRegistry(WithModelSource(func(name string) (*cimmlc.Graph, cimmlc.Weights, error) {
+		calls.Add(1)
+		return nil, nil, context.DeadlineExceeded // transient failure
+	}))
+	if _, err := r.Get(context.Background(), "conv-relu", "toy-table2"); err == nil {
+		t.Fatal("first Get should fail")
+	}
+	if _, err := r.Get(context.Background(), "conv-relu", "toy-table2"); err == nil {
+		t.Fatal("second Get should fail")
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("failed builds should not be cached: %d source calls, want 2", n)
+	}
+}
+
+func TestRegistryRegisterArchJSON(t *testing.T) {
+	r := NewRegistry()
+	// A valid custom arch registers and then serves.
+	a, err := cimmlc.Preset("toy-table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Name = "my-custom-arch"
+	data, err := cimmlc.EncodeArch(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, err := r.RegisterArchJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "my-custom-arch" {
+		t.Fatalf("registered name %q", name)
+	}
+	if !slices.Contains(r.Archs(), "my-custom-arch") {
+		t.Fatalf("Archs() = %v, missing my-custom-arch", r.Archs())
+	}
+	if _, err := r.Get(context.Background(), "conv-relu", "MY-CUSTOM-ARCH"); err != nil {
+		t.Fatalf("Get on registered arch (case-insensitive): %v", err)
+	}
+
+	// A malformed arch (unknown NoC) is rejected with the available listing
+	// — the regression for the old HopDistance panic.
+	bad := strings.Replace(string(data), `"SharedBus"`, `"Torus"`, 1)
+	if bad == string(data) {
+		t.Fatal("test setup: expected toy-table2 to use SharedBus")
+	}
+	if _, err := r.RegisterArchJSON([]byte(bad)); err == nil || !strings.Contains(err.Error(), "available:") {
+		t.Fatalf("malformed arch: got %v, want available-listing error", err)
+	}
+}

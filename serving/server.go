@@ -1,0 +1,357 @@
+package serving
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cimmlc"
+)
+
+// ServerConfig tunes the HTTP gateway.
+type ServerConfig struct {
+	// Batch configures the micro-batching queue created per resident
+	// Program. The zero value uses the batcher defaults.
+	Batch BatcherConfig
+	// RequestTimeout bounds one /v1/run request, queueing included
+	// (default 30s).
+	RequestTimeout time.Duration
+}
+
+// Server is the embeddable serving gateway: it owns a Registry and one
+// Batcher per resident Program, and exposes them as an http.Handler with
+// the /v1/run, /v1/models, /v1/archs and /healthz routes cmd/cimserve
+// serves. Create it with NewServer, mount Handler, and Close it to drain.
+type Server struct {
+	reg *Registry
+	cfg ServerConfig
+
+	mu       sync.Mutex
+	batchers map[Key]*progHandle
+	draining bool
+}
+
+// progHandle pairs a resident Program's batcher with its memoized input
+// schema, so per-request validation does not rebuild it.
+type progHandle struct {
+	b      *Batcher
+	schema map[int][]int
+}
+
+// NewServer wraps a registry in a serving gateway.
+func NewServer(reg *Registry, cfg ServerConfig) *Server {
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	return &Server{reg: reg, cfg: cfg, batchers: map[Key]*progHandle{}}
+}
+
+// Registry returns the server's model registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Batcher returns the micro-batching queue for (model, arch), building the
+// Program on first use.
+func (s *Server) Batcher(ctx context.Context, model, arch string) (*Batcher, error) {
+	h, err := s.handle(ctx, model, arch)
+	if err != nil {
+		return nil, err
+	}
+	return h.b, nil
+}
+
+func (s *Server) handle(ctx context.Context, model, arch string) (*progHandle, error) {
+	key := Key{Model: strings.ToLower(model), Arch: strings.ToLower(arch)}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	h, ok := s.batchers[key]
+	s.mu.Unlock()
+	if ok {
+		return h, nil
+	}
+	p, err := s.reg.Get(ctx, model, arch)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrClosed
+	}
+	if h, ok := s.batchers[key]; ok {
+		return h, nil
+	}
+	h = &progHandle{b: NewBatcher(p, s.cfg.Batch), schema: p.Inputs()}
+	s.batchers[key] = h
+	return h, nil
+}
+
+// Close drains every batcher: queued requests finish, new ones are
+// rejected. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.draining = true
+	hs := make([]*progHandle, 0, len(s.batchers))
+	for _, h := range s.batchers {
+		hs = append(hs, h)
+	}
+	s.mu.Unlock()
+	for _, h := range hs {
+		h.b.Close()
+	}
+}
+
+// Handler returns the gateway's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/archs", s.handleArchs)
+	mux.HandleFunc("/v1/run", s.handleRun)
+	return mux
+}
+
+// JSONTensor is the wire form of a tensor: a shape and the row-major data.
+type JSONTensor struct {
+	Shape []int     `json:"shape"`
+	Data  []float32 `json:"data"`
+}
+
+// RunRequest is the /v1/run body. Inputs are keyed by input node ID
+// (stringified, JSON objects require string keys). When Inputs is empty,
+// Seed generates deterministic pseudo-random inputs server-side — handy
+// for smoke tests and load generation.
+type RunRequest struct {
+	Model  string                `json:"model"`
+	Arch   string                `json:"arch"`
+	Inputs map[string]JSONTensor `json:"inputs,omitempty"`
+	Seed   uint64                `json:"seed,omitempty"`
+}
+
+// RunResponse is the /v1/run reply.
+type RunResponse struct {
+	Model   string                `json:"model"`
+	Arch    string                `json:"arch"`
+	Outputs map[string]JSONTensor `json:"outputs"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// modelsResponse is the /v1/models reply: what can be served and what is
+// resident right now.
+type modelsResponse struct {
+	Models   []string      `json:"models"`
+	Archs    []string      `json:"archs"`
+	Programs []ProgramInfo `json:"programs"`
+	Builds   uint64        `json:"builds"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, modelsResponse{
+		Models:   s.reg.Models(),
+		Archs:    s.reg.Archs(),
+		Programs: s.reg.Loaded(),
+		Builds:   s.reg.Builds(),
+	})
+}
+
+// handleArchs registers a user-supplied architecture from its JSON
+// description. Malformed or invalid descriptions — unknown NoC topology,
+// unknown device, inconsistent grids — come back as a 400 with the
+// validation error, never a crash.
+func (s *Server) handleArchs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST with the arch JSON as body"))
+		return
+	}
+	data, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	name, err := s.reg.RegisterArchJSON(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"name": name})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	data, err := readBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req RunRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serving: bad request body: %w", err))
+		return
+	}
+	if req.Model == "" || req.Arch == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serving: request must set model and arch"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	h, err := s.handle(ctx, req.Model, req.Arch)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	inputs, err := decodeInputs(h.schema, &req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	outs, err := h.b.Do(ctx, inputs)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	resp := RunResponse{Model: req.Model, Arch: req.Arch, Outputs: map[string]JSONTensor{}}
+	for id, t := range outs {
+		resp.Outputs[strconv.Itoa(id)] = JSONTensor{Shape: t.Shape(), Data: t.Data()}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statusFor maps gateway errors to HTTP statuses: unknown names and other
+// lookup failures are client errors, drain is 503, the rest are 500.
+func statusFor(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case strings.Contains(err.Error(), "available:"):
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// decodeInputs turns the wire inputs into tensors keyed by node ID,
+// validated against the program's input schema; with no wire inputs it
+// generates seeded pseudo-random tensors for every input node.
+func decodeInputs(schema map[int][]int, req *RunRequest) (map[int]*cimmlc.Tensor, error) {
+	inputs := make(map[int]*cimmlc.Tensor, len(schema))
+	if len(req.Inputs) == 0 {
+		for id, shape := range schema {
+			t := cimmlc.NewTensor(shape...)
+			t.Rand(req.Seed*1315423911+uint64(id)+1, 1)
+			inputs[id] = t
+		}
+		return inputs, nil
+	}
+	for key, jt := range req.Inputs {
+		id, err := strconv.Atoi(key)
+		if err != nil {
+			return nil, fmt.Errorf("serving: input key %q is not a node ID", key)
+		}
+		shape, ok := schema[id]
+		if !ok {
+			return nil, fmt.Errorf("serving: node %d is not an input (inputs: %s)", id, inputIDs(schema))
+		}
+		if len(jt.Shape) == 0 {
+			jt.Shape = shape
+		} else if !shapesEqual(jt.Shape, shape) {
+			return nil, fmt.Errorf("serving: input %d has shape %v, model expects %v", id, jt.Shape, shape)
+		}
+		t, err := cimmlc.TensorFromSlice(jt.Data, jt.Shape...)
+		if err != nil {
+			return nil, fmt.Errorf("serving: input %d: %w", id, err)
+		}
+		inputs[id] = t
+	}
+	for id := range schema {
+		if _, ok := inputs[id]; !ok {
+			return nil, fmt.Errorf("serving: missing input for node %d (inputs: %s)", id, inputIDs(schema))
+		}
+	}
+	return inputs, nil
+}
+
+func shapesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func inputIDs(schema map[int][]int) string {
+	ids := make([]int, 0, len(schema))
+	for id := range schema {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = strconv.Itoa(id)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// readBody reads a request body, capped so an oversized request cannot
+// exhaust memory.
+func readBody(r *http.Request) ([]byte, error) {
+	const maxBody = 64 << 20
+	defer r.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		return nil, fmt.Errorf("serving: reading request body: %w", err)
+	}
+	if len(data) > maxBody {
+		return nil, fmt.Errorf("serving: request body over %d bytes", maxBody)
+	}
+	return data, nil
+}

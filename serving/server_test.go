@@ -1,0 +1,246 @@
+package serving
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"cimmlc"
+)
+
+func testGateway(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer(NewRegistry(), ServerConfig{
+		Batch: BatcherConfig{MaxBatch: 4, MaxDelay: time.Millisecond},
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func TestServerHealthz(t *testing.T) {
+	_, ts := testGateway(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestServerRunWithSeed(t *testing.T) {
+	_, ts := testGateway(t)
+	resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Model: "conv-relu", Arch: "toy-table2", Seed: 7})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run = %d: %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Outputs) == 0 {
+		t.Fatal("no outputs")
+	}
+	for id, jt := range rr.Outputs {
+		if len(jt.Data) == 0 || len(jt.Shape) == 0 {
+			t.Fatalf("output %s is empty: %+v", id, jt)
+		}
+	}
+}
+
+func TestServerRunExplicitInputsMatchDirectRun(t *testing.T) {
+	s, ts := testGateway(t)
+	in := cimmlc.NewTensor(3, 32, 32)
+	in.Rand(99, 1)
+	resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{
+		Model:  "conv-relu",
+		Arch:   "toy-table2",
+		Inputs: map[string]JSONTensor{"0": {Shape: in.Shape(), Data: in.Data()}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run = %d: %s", resp.StatusCode, body)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Registry().Get(context.Background(), "conv-relu", "toy-table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Run(context.Background(), map[int]*cimmlc.Tensor{0: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, wt := range want {
+		got, ok := rr.Outputs[strconv.Itoa(id)]
+		if !ok {
+			t.Fatalf("missing output %d", id)
+		}
+		wd := wt.Data()
+		if len(got.Data) != len(wd) {
+			t.Fatalf("output %d: %d elements, want %d", id, len(got.Data), len(wd))
+		}
+		for j := range wd {
+			if got.Data[j] != wd[j] {
+				t.Fatalf("output %d element %d: gateway %v != direct %v", id, j, got.Data[j], wd[j])
+			}
+		}
+	}
+}
+
+func TestServerRunErrors(t *testing.T) {
+	_, ts := testGateway(t)
+	cases := []struct {
+		name string
+		req  RunRequest
+		code int
+		frag string
+	}{
+		{"unknown model", RunRequest{Model: "no-such", Arch: "toy-table2"}, http.StatusNotFound, "available:"},
+		{"unknown arch", RunRequest{Model: "conv-relu", Arch: "no-such"}, http.StatusNotFound, "available:"},
+		{"missing fields", RunRequest{}, http.StatusBadRequest, "model and arch"},
+		{"bad input key", RunRequest{Model: "conv-relu", Arch: "toy-table2",
+			Inputs: map[string]JSONTensor{"zero": {Data: []float32{1}}}}, http.StatusBadRequest, "not a node ID"},
+		{"wrong shape", RunRequest{Model: "conv-relu", Arch: "toy-table2",
+			Inputs: map[string]JSONTensor{"0": {Shape: []int{2, 2}, Data: []float32{1, 2, 3, 4}}}}, http.StatusBadRequest, "expects"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+"/v1/run", tc.req)
+			if resp.StatusCode != tc.code {
+				t.Fatalf("status = %d, want %d (%s)", resp.StatusCode, tc.code, body)
+			}
+			if !strings.Contains(string(body), tc.frag) {
+				t.Fatalf("body %q should contain %q", body, tc.frag)
+			}
+		})
+	}
+}
+
+// TestServerBadArchReturns400 is the end-to-end regression for the old
+// internal/arch panics: a user arch file with an unknown NoC topology or
+// device must come back as a 400 with the available listing — previously it
+// decoded cleanly and crashed the process at schedule/simulation time.
+func TestServerBadArchReturns400(t *testing.T) {
+	_, ts := testGateway(t)
+	a, err := cimmlc.Preset("toy-table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Name = "user-arch"
+	good, err := cimmlc.EncodeArch(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ name, from, to string }{
+		{"unknown noc", `"SharedBus"`, `"Torus"`},
+		{"unknown device", `"SRAM"`, `"FeFET"`},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := strings.Replace(string(good), tc.from, tc.to, 1)
+			if bad == string(good) {
+				t.Fatalf("test setup: %s not present in encoded arch", tc.from)
+			}
+			resp, err := http.Post(ts.URL+"/v1/archs", "application/json", strings.NewReader(bad))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out bytes.Buffer
+			out.ReadFrom(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("bad arch = %d, want 400 (%s)", resp.StatusCode, out.String())
+			}
+			if !strings.Contains(out.String(), "available:") {
+				t.Fatalf("error %q should list the available values", out.String())
+			}
+		})
+	}
+
+	// The well-formed description registers and serves.
+	resp, err := http.Post(ts.URL+"/v1/archs", "application/json", bytes.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("good arch = %d, want 200", resp.StatusCode)
+	}
+	run, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Model: "conv-relu", Arch: "user-arch", Seed: 1})
+	if run.StatusCode != http.StatusOK {
+		t.Fatalf("run on registered arch = %d: %s", run.StatusCode, body)
+	}
+}
+
+func TestServerModelsEndpoint(t *testing.T) {
+	_, ts := testGateway(t)
+	// Load one program first so the listing is non-trivial.
+	if resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Model: "conv-relu", Arch: "toy-table2", Seed: 1}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("run = %d: %s", resp.StatusCode, body)
+	}
+	resp, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m modelsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Models) == 0 || len(m.Archs) == 0 {
+		t.Fatalf("models/archs listing empty: %+v", m)
+	}
+	if len(m.Programs) != 1 || m.Programs[0].Key.Model != "conv-relu" {
+		t.Fatalf("programs = %+v, want the one loaded key", m.Programs)
+	}
+	if m.Programs[0].Stats.Requests == 0 {
+		t.Fatal("loaded program reports zero served requests")
+	}
+}
+
+func TestServerDrain(t *testing.T) {
+	s, ts := testGateway(t)
+	if resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Model: "conv-relu", Arch: "toy-table2", Seed: 1}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("run = %d: %s", resp.StatusCode, body)
+	}
+	s.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %d, want 503", resp.StatusCode)
+	}
+	run, _ := postJSON(t, ts.URL+"/v1/run", RunRequest{Model: "conv-relu", Arch: "toy-table2", Seed: 2})
+	if run.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("run while draining = %d, want 503", run.StatusCode)
+	}
+}
