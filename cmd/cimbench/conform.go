@@ -1,0 +1,42 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"cimmlc/internal/conformance"
+)
+
+// runConform executes the conformance matrix against the embedded golden
+// digests and reports the result; it returns an error (and cimbench exits
+// non-zero) on any violated property.
+func runConform(full, jsonOut bool) error {
+	cfg := conformance.ShortConfig()
+	if full {
+		cfg = conformance.FullConfig()
+	}
+	golden, err := conformance.DefaultGolden()
+	if err != nil {
+		return err
+	}
+	cfg.Golden = golden
+	res, err := conformance.Run(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(res.Format())
+	}
+	if n := len(res.Violations); n > 0 {
+		return fmt.Errorf("conformance: %d violations", n)
+	}
+	return nil
+}

@@ -7,7 +7,6 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -195,23 +194,7 @@ func runLoadgen(model, arch string, requests, clients, maxBatch int, jsonOut boo
 		BitIdentical: identical,
 		BatcherStats: st,
 	}
-	// Speedup pairs each batched round with the baseline round that ran
-	// beside it, then takes the median ratio: a host-noise burst slows
-	// both halves of its pair and cancels, where a ratio of whole-run
-	// totals would charge it to whichever path it happened to hit.
-	if n := len(baseRounds); n > 0 && n == len(batchRounds) {
-		ratios := make([]float64, n)
-		for i := range ratios {
-			ratios[i] = batchRounds[i] / baseRounds[i]
-		}
-		sort.Float64s(ratios)
-		res.SpeedupX = ratios[n/2]
-		if n%2 == 0 {
-			res.SpeedupX = (ratios[n/2-1] + ratios[n/2]) / 2
-		}
-	} else if res.Baseline.ThroughputRPS > 0 {
-		res.SpeedupX = res.Batched.ThroughputRPS / res.Baseline.ThroughputRPS
-	}
+	res.SpeedupX, _ = pairedMedianSpeedup(baseRounds, batchRounds)
 	res.BatchedGEBaseline = res.SpeedupX >= 1
 	if st.Batches > 0 {
 		res.MeanBatch = float64(st.Requests) / float64(st.Batches)
@@ -235,41 +218,6 @@ func runLoadgen(model, arch string, requests, clients, maxBatch int, jsonOut boo
 		return fmt.Errorf("micro-batched outputs diverge from the per-request baseline")
 	}
 	return nil
-}
-
-// metricsFor reduces one path's measurements: throughput is the median
-// round's requests/second, latencies come from every request.
-func metricsFor(wall time.Duration, latencies []int64, roundRPS []float64) pathMetrics {
-	sorted := make([]int64, len(latencies))
-	copy(sorted, latencies)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	rounds := make([]float64, len(roundRPS))
-	copy(rounds, roundRPS)
-	sort.Float64s(rounds)
-	var rps float64
-	if n := len(rounds); n > 0 {
-		rps = rounds[n/2]
-		if n%2 == 0 {
-			rps = (rounds[n/2-1] + rounds[n/2]) / 2
-		}
-	} else if wall > 0 {
-		rps = float64(len(latencies)) / wall.Seconds()
-	}
-	return pathMetrics{
-		WallNS:        wall.Nanoseconds(),
-		ThroughputRPS: rps,
-		P50NS:         percentile(sorted, 50),
-		P99NS:         percentile(sorted, 99),
-	}
-}
-
-// percentile reads the p-th percentile from an ascending-sorted slice.
-func percentile(sorted []int64, p int) int64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := (len(sorted) - 1) * p / 100
-	return sorted[i]
 }
 
 func outputsEqual(a, b map[int]*cimmlc.Tensor) bool {

@@ -10,6 +10,8 @@
 //	cimbench -flows fig16    # print the full Figure-16 flows
 //	cimbench -serving -json  # compile-once serving smoke (CI artifact)
 //	cimbench -loadgen -json  # micro-batching vs per-request load generator
+//	cimbench -conform        # cross-level conformance matrix vs goldens
+//	cimbench -conform -conform-full -json  # full-zoo sweep, CI artifact
 package main
 
 import (
@@ -33,6 +35,8 @@ func main() {
 	servingModel := flag.String("serving-model", "conv-relu", "zoo model for -serving / -loadgen")
 	servingArch := flag.String("serving-arch", "toy-table2", "preset architecture for -serving / -loadgen")
 	servingReqs := flag.Int("serving-requests", 32, "requests to serve in -serving")
+	conform := flag.Bool("conform", false, "run the cross-level conformance matrix against the committed goldens")
+	conformFull := flag.Bool("conform-full", false, "with -conform: sweep the full model zoo instead of the short matrix")
 	loadgen := flag.Bool("loadgen", false, "run the micro-batching load generator instead of experiments")
 	loadgenReqs := flag.Int("loadgen-requests", 256, "requests per path in -loadgen")
 	loadgenClients := flag.Int("loadgen-clients", 16, "concurrent clients hitting the batcher in -loadgen")
@@ -47,6 +51,13 @@ func main() {
 	}
 	if *serving {
 		if err := runServing(*servingModel, *servingArch, *servingReqs, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "cimbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *conform {
+		if err := runConform(*conformFull, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "cimbench: %v\n", err)
 			os.Exit(1)
 		}

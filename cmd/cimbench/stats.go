@@ -1,0 +1,75 @@
+package main
+
+import (
+	"sort"
+	"time"
+)
+
+// This file holds the load generator's statistics helpers, separated from
+// the measurement loop so they are unit-testable with known distributions.
+
+// percentile reads the p-th percentile from an ascending-sorted slice using
+// the nearest-rank-below convention (index (n-1)*p/100).
+func percentile(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted) - 1) * p / 100
+	return sorted[i]
+}
+
+// median returns the median of xs (mean of the middle pair for even n, 0 for
+// empty input). xs is not modified.
+func median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]float64, n)
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// pairedMedianSpeedup reduces per-round throughput pairs to one speedup
+// figure: each experiment round is paired with the baseline round that ran
+// beside it, and the median of the per-pair ratios is returned. A host-noise
+// burst slows both halves of its pair and cancels, where a ratio of
+// whole-run totals would charge it to whichever path it happened to hit.
+// When the two series cannot be paired (length mismatch or empty), it falls
+// back to the ratio of medians; paired reports which reduction was used.
+func pairedMedianSpeedup(baseline, experiment []float64) (speedup float64, paired bool) {
+	if n := len(baseline); n > 0 && n == len(experiment) {
+		ratios := make([]float64, n)
+		for i := range ratios {
+			ratios[i] = experiment[i] / baseline[i]
+		}
+		return median(ratios), true
+	}
+	if mb := median(baseline); mb > 0 {
+		return median(experiment) / mb, false
+	}
+	return 0, false
+}
+
+// metricsFor reduces one path's measurements: throughput is the median
+// round's requests/second (falling back to whole-run wall time when no
+// per-round figures exist), latencies come from every request.
+func metricsFor(wall time.Duration, latencies []int64, roundRPS []float64) pathMetrics {
+	sorted := make([]int64, len(latencies))
+	copy(sorted, latencies)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rps := median(roundRPS)
+	if len(roundRPS) == 0 && wall > 0 {
+		rps = float64(len(latencies)) / wall.Seconds()
+	}
+	return pathMetrics{
+		WallNS:        wall.Nanoseconds(),
+		ThroughputRPS: rps,
+		P50NS:         percentile(sorted, 50),
+		P99NS:         percentile(sorted, 99),
+	}
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPercentile(t *testing.T) {
+	hundred := make([]int64, 100)
+	for i := range hundred {
+		hundred[i] = int64(i + 1) // 1..100, sorted
+	}
+	cases := []struct {
+		name   string
+		sorted []int64
+		p      int
+		want   int64
+	}{
+		{"empty", nil, 50, 0},
+		{"single p0", []int64{7}, 0, 7},
+		{"single p99", []int64{7}, 99, 7},
+		{"pair p50", []int64{1, 9}, 50, 1},
+		{"uniform p50", hundred, 50, 50},
+		{"uniform p99", hundred, 99, 99},
+		{"uniform p100", hundred, 100, 100},
+		{"uniform p0", hundred, 0, 1},
+		// Nearest-rank-below truncates: index (10-1)*99/100 = 8, so a 10-
+		// sample p99 does not yet reach the single outlier...
+		{"skewed tail small n", []int64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1000}, 99, 1},
+		// ...but a 101-sample p99 does (index 99).
+		{"skewed tail large n", append(append([]int64{}, hundred...), 1000), 99, 100},
+	}
+	for _, c := range cases {
+		if got := percentile(c.sorted, c.p); got != c.want {
+			t.Errorf("%s: percentile(%v, %d) = %d, want %d", c.name, c.sorted, c.p, got, c.want)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{3}, 3},
+		{"odd", []float64{5, 1, 3}, 3},
+		{"even", []float64{4, 1, 3, 2}, 2.5},
+		{"outlier resistant", []float64{1, 2, 3, 4, 1000}, 3},
+	}
+	for _, c := range cases {
+		if got := median(c.xs); got != c.want {
+			t.Errorf("%s: median(%v) = %g, want %g", c.name, c.xs, got, c.want)
+		}
+	}
+	// median must not mutate its input.
+	xs := []float64{3, 1, 2}
+	median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("median reordered its input: %v", xs)
+	}
+}
+
+func TestPairedMedianSpeedup(t *testing.T) {
+	cases := []struct {
+		name       string
+		base, exp  []float64
+		want       float64
+		wantPaired bool
+	}{
+		{"uniform 2x", []float64{100, 100, 100}, []float64{200, 200, 200}, 2, true},
+		{"median of ratios", []float64{100, 100, 100}, []float64{100, 200, 400}, 2, true},
+		// The burst round (10 rps) slows both paths; pairing cancels it.
+		{"noise burst cancels", []float64{100, 10, 100, 100}, []float64{150, 15, 150, 150}, 1.5, true},
+		{"even pair count", []float64{100, 100}, []float64{100, 300}, 2, true},
+		{"length mismatch falls back", []float64{100, 100, 100}, []float64{300}, 3, false},
+		{"empty baseline", nil, []float64{100}, 0, false},
+	}
+	for _, c := range cases {
+		got, paired := pairedMedianSpeedup(c.base, c.exp)
+		if math.Abs(got-c.want) > 1e-12 || paired != c.wantPaired {
+			t.Errorf("%s: pairedMedianSpeedup(%v, %v) = (%g, %v), want (%g, %v)",
+				c.name, c.base, c.exp, got, paired, c.want, c.wantPaired)
+		}
+	}
+}
+
+func TestMetricsFor(t *testing.T) {
+	lat := []int64{50, 10, 40, 20, 30} // unsorted on purpose
+	m := metricsFor(500*time.Millisecond, lat, []float64{80, 120, 100})
+	if m.ThroughputRPS != 100 {
+		t.Errorf("throughput = %g, want median round 100", m.ThroughputRPS)
+	}
+	if m.P50NS != 30 {
+		t.Errorf("p50 = %d, want 30", m.P50NS)
+	}
+	if m.P99NS != 40 {
+		t.Errorf("p99 = %d, want 40 (index (5-1)*99/100 = 3)", m.P99NS)
+	}
+	if m.WallNS != (500 * time.Millisecond).Nanoseconds() {
+		t.Errorf("wall = %d", m.WallNS)
+	}
+	// metricsFor must not mutate the caller's latency slice.
+	if lat[0] != 50 || lat[4] != 30 {
+		t.Errorf("metricsFor reordered the latency slice: %v", lat)
+	}
+
+	// No per-round figures: fall back to whole-run throughput.
+	m = metricsFor(2*time.Second, []int64{1, 2, 3, 4}, nil)
+	if m.ThroughputRPS != 2 {
+		t.Errorf("fallback throughput = %g, want 4 requests / 2s = 2", m.ThroughputRPS)
+	}
+
+	// Degenerate: nothing measured.
+	m = metricsFor(0, nil, nil)
+	if m.ThroughputRPS != 0 || m.P50NS != 0 || m.P99NS != 0 {
+		t.Errorf("zero-input metrics not zero: %+v", m)
+	}
+}

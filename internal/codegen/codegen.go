@@ -12,6 +12,7 @@ package codegen
 
 import (
 	"fmt"
+	"sort"
 
 	"cimmlc/internal/arch"
 	"cimmlc/internal/cost"
@@ -83,7 +84,16 @@ func buildLayout(g *graph.Graph, m *cost.Model, s *sched.Schedule) *Layout {
 		lay.Size[n.ID] = size
 		next += size
 	}
-	for id, f := range m.FPs {
+	// Assign scratch bases in node-ID order: FPs is a map, and iterating it
+	// directly would give every compilation a different (if equivalent)
+	// address layout, making generated flows non-reproducible byte-for-byte.
+	ids := make([]int, 0, len(m.FPs))
+	for id := range m.FPs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		f := m.FPs[id]
 		dup := s.DupOf(id)
 		if f.Rounds(m.Arch) > 1 {
 			dup = 1

@@ -1,0 +1,32 @@
+package codegen
+
+import (
+	"testing"
+
+	"cimmlc/internal/arch"
+	"cimmlc/internal/models"
+)
+
+// TestGenerateDeterministic lowers the same model twice from scratch and
+// requires byte-identical printed flows and identical buffer layouts. The
+// scratch allocator walks a map of footprints; without a pinned order the
+// flows would be semantically equivalent but not reproducible, which breaks
+// golden-snapshot testing and flow-text diffing.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, mode := range []arch.Mode{arch.CM, arch.XBM, arch.WLM} {
+		first := compileAndGenerate(t, models.LeNet5(), toyInMode(mode), Options{})
+		second := compileAndGenerate(t, models.LeNet5(), toyInMode(mode), Options{})
+		if first.Flow.Print() != second.Flow.Print() {
+			t.Errorf("mode %s: two identical lowerings printed different flows", mode)
+		}
+		if first.Layout.Total != second.Layout.Total {
+			t.Errorf("mode %s: layout totals differ: %d vs %d", mode, first.Layout.Total, second.Layout.Total)
+		}
+		for id, base := range first.Layout.Scratch {
+			if second.Layout.Scratch[id] != base {
+				t.Errorf("mode %s: scratch base of node %d differs: %d vs %d",
+					mode, id, base, second.Layout.Scratch[id])
+			}
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package conformance
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"cimmlc"
+	"cimmlc/serving"
+)
+
+// runExecBattery runs one cell's seeded requests through every execution
+// path the system exposes and demands bit-identical outputs:
+//
+//   - Program.Run, request by request (the reference path, also hashed)
+//   - the deprecated one-shot Compiler.Run (compared on the calibration
+//     request — it re-calibrates on its inputs by design)
+//   - Program.RunBatch across a worker pool, all requests at once
+//   - a serving.Batcher flushed by concurrent client goroutines
+//   - HTTP POST /v1/run against the gateway with JSON tensors
+//
+// plus Program.Verify, the differential check against the quantized
+// reference executor and the float reference. It returns the flow's
+// meta-operator counts, the reference path's output hash, and any
+// violations.
+func runExecBattery(ctx context.Context, c *cimmlc.Compiler, g *cimmlc.Graph, a *cimmlc.Arch, cell Cell, cfg Config) (mops *MOPCounts, hash string, violations []string) {
+	key := cell.Key()
+	// failf records one violation and returns whatever mops/hash were
+	// computed before the failure, so an aborted battery does not also
+	// masquerade as golden drift on those fields.
+	failf := func(format string, args ...any) (*MOPCounts, string, []string) {
+		return mops, hash, append(violations, fmt.Sprintf("%s: %s", key, fmt.Sprintf(format, args...)))
+	}
+
+	w := cimmlc.RandomWeights(g, cfg.Seed)
+	reqs := seededRequests(g, cfg.Requests, cfg.Seed)
+	calib := reqs[0]
+
+	p, err := c.Build(ctx, g, w, cimmlc.CodegenOptions{},
+		cimmlc.WithCalibration(calib), cimmlc.WithWorkers(4))
+	if err != nil {
+		return failf("build: %v", err)
+	}
+	st := p.Flow().Flow.Stats()
+	mops = &MOPCounts{CIM: st.CIMOps, DCOM: st.DCOMOps, DMOV: st.DMOVOps, Parallel: st.ParallelOps}
+
+	// Reference path: Program.Run per request.
+	base := make([]map[int]*cimmlc.Tensor, len(reqs))
+	for i, req := range reqs {
+		out, err := p.Run(ctx, req)
+		if err != nil {
+			return failf("Program.Run request %d: %v", i, err)
+		}
+		base[i] = out
+	}
+	hash = hashOutputs(base)
+
+	// Differential against the quantized reference executor and the float
+	// reference (the role the digital reference plays in Kourtis et al.).
+	if err := p.Verify(ctx, calib, 0.05); err != nil {
+		violations = append(violations, fmt.Sprintf("%s: Verify against reference executors: %v", key, err))
+	}
+
+	// Deprecated one-shot path. It calibrates on its own inputs, so only
+	// the calibration request is comparable bit-for-bit.
+	oneShot, err := c.Run(ctx, g, p.Flow(), w, calib)
+	if err != nil {
+		violations = append(violations, fmt.Sprintf("%s: one-shot Compiler.Run: %v", key, err))
+	} else if d := firstOutputDiff(pickOutputs(oneShot, p.Outputs()), base[0]); d != "" {
+		violations = append(violations, fmt.Sprintf("%s: one-shot Compiler.Run diverges from Program.Run: %s", key, d))
+	}
+
+	// Concurrent RunBatch: two simultaneous batches over the same Program,
+	// exercising the pooled-state path under contention (and the race
+	// detector when enabled).
+	var wg sync.WaitGroup
+	batchOuts := make([][]map[int]*cimmlc.Tensor, 2)
+	batchErrs := make([]error, 2)
+	for b := 0; b < 2; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			batchOuts[b], batchErrs[b] = p.RunBatch(ctx, reqs)
+		}(b)
+	}
+	wg.Wait()
+	for b := 0; b < 2; b++ {
+		if batchErrs[b] != nil {
+			violations = append(violations, fmt.Sprintf("%s: RunBatch #%d: %v", key, b, batchErrs[b]))
+			continue
+		}
+		for i := range reqs {
+			if d := firstOutputDiff(batchOuts[b][i], base[i]); d != "" {
+				violations = append(violations, fmt.Sprintf("%s: RunBatch #%d request %d diverges: %s", key, b, i, d))
+				break
+			}
+		}
+	}
+
+	// Micro-batching queue under concurrent clients.
+	batcher := serving.NewBatcher(p, serving.BatcherConfig{MaxBatch: 3, MaxDelay: 200 * time.Microsecond})
+	qOuts := make([]map[int]*cimmlc.Tensor, len(reqs))
+	qErrs := make([]error, len(reqs))
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			qOuts[i], qErrs[i] = batcher.Do(ctx, reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	batcher.Close()
+	for i := range reqs {
+		if qErrs[i] != nil {
+			violations = append(violations, fmt.Sprintf("%s: Batcher.Do request %d: %v", key, i, qErrs[i]))
+		} else if d := firstOutputDiff(qOuts[i], base[i]); d != "" {
+			violations = append(violations, fmt.Sprintf("%s: Batcher request %d diverges: %s", key, i, d))
+		}
+	}
+
+	// HTTP gateway path: a registry serving this exact (graph, weights,
+	// calibration) under the cell's mode-overridden architecture.
+	violations = append(violations, runHTTPPath(ctx, g, a, w, calib, reqs, base, cell)...)
+
+	return mops, hash, violations
+}
+
+// runHTTPPath round-trips every request through POST /v1/run and compares
+// the wire outputs bit-for-bit (float32 JSON encoding round-trips exactly).
+func runHTTPPath(ctx context.Context, g *cimmlc.Graph, a *cimmlc.Arch, w cimmlc.Weights, calib map[int]*cimmlc.Tensor, reqs []map[int]*cimmlc.Tensor, base []map[int]*cimmlc.Tensor, cell Cell) []string {
+	var violations []string
+	key := cell.Key()
+
+	archName := fmt.Sprintf("%s@%s", cell.Arch, cell.Level)
+	ga := a.Clone()
+	ga.Name = archName
+	reg := serving.NewRegistry(
+		serving.WithModelSource(func(name string) (*cimmlc.Graph, cimmlc.Weights, error) {
+			if name != cell.Model {
+				return nil, nil, fmt.Errorf("conformance source serves only %q", cell.Model)
+			}
+			return g.Clone(), w, nil
+		}),
+		serving.WithBuildOptions(cimmlc.WithCalibration(calib), cimmlc.WithWorkers(2)),
+	)
+	if err := reg.RegisterArch(ga); err != nil {
+		return append(violations, fmt.Sprintf("%s: gateway RegisterArch: %v", key, err))
+	}
+	srv := serving.NewServer(reg, serving.ServerConfig{
+		Batch:          serving.BatcherConfig{MaxBatch: 2, MaxDelay: 200 * time.Microsecond},
+		RequestTimeout: 2 * time.Minute,
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for i, req := range reqs {
+		body := serving.RunRequest{Model: cell.Model, Arch: archName, Inputs: map[string]serving.JSONTensor{}}
+		for id, t := range req {
+			body.Inputs[strconv.Itoa(id)] = serving.JSONTensor{Shape: t.Shape(), Data: t.Data()}
+		}
+		data, err := json.Marshal(body)
+		if err != nil {
+			return append(violations, fmt.Sprintf("%s: gateway request %d marshal: %v", key, i, err))
+		}
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/run", bytes.NewReader(data))
+		if err != nil {
+			return append(violations, fmt.Sprintf("%s: gateway request %d: %v", key, i, err))
+		}
+		resp, err := ts.Client().Do(hreq)
+		if err != nil {
+			return append(violations, fmt.Sprintf("%s: gateway request %d: %v", key, i, err))
+		}
+		var rr serving.RunResponse
+		decErr := json.NewDecoder(resp.Body).Decode(&rr)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return append(violations, fmt.Sprintf("%s: gateway request %d: HTTP %d", key, i, resp.StatusCode))
+		}
+		if decErr != nil {
+			return append(violations, fmt.Sprintf("%s: gateway request %d decode: %v", key, i, decErr))
+		}
+		got := map[int]*cimmlc.Tensor{}
+		for idStr, jt := range rr.Outputs {
+			id, err := strconv.Atoi(idStr)
+			if err != nil {
+				return append(violations, fmt.Sprintf("%s: gateway request %d: bad output key %q", key, i, idStr))
+			}
+			t, err := cimmlc.TensorFromSlice(jt.Data, jt.Shape...)
+			if err != nil {
+				return append(violations, fmt.Sprintf("%s: gateway request %d output %d: %v", key, i, id, err))
+			}
+			got[id] = t
+		}
+		if d := firstOutputDiff(got, base[i]); d != "" {
+			violations = append(violations, fmt.Sprintf("%s: HTTP /v1/run request %d diverges: %s", key, i, d))
+		}
+	}
+	return violations
+}
+
+// seededRequests builds deterministic pseudo-random inputs for every input
+// node; request 0 doubles as the calibration set.
+func seededRequests(g *cimmlc.Graph, n int, seed uint64) []map[int]*cimmlc.Tensor {
+	reqs := make([]map[int]*cimmlc.Tensor, n)
+	for i := range reqs {
+		in := map[int]*cimmlc.Tensor{}
+		for _, id := range g.InputIDs() {
+			nd := g.MustNode(id)
+			t := cimmlc.NewTensor(nd.OutShape...)
+			t.Rand(seed*1_000_003+uint64(i)*131+uint64(id)+1, 1)
+			in[id] = t
+		}
+		reqs[i] = in
+	}
+	return reqs
+}
+
+// pickOutputs narrows an all-nodes tensor map (the deprecated Run's return
+// shape) to the graph's output nodes.
+func pickOutputs(all map[int]*cimmlc.Tensor, ids []int) map[int]*cimmlc.Tensor {
+	out := make(map[int]*cimmlc.Tensor, len(ids))
+	for _, id := range ids {
+		out[id] = all[id]
+	}
+	return out
+}
+
+// firstOutputDiff compares two output maps bit-for-bit and describes the
+// first difference ("" when identical).
+func firstOutputDiff(got, want map[int]*cimmlc.Tensor) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("output count %d vs %d", len(got), len(want))
+	}
+	ids := make([]int, 0, len(want))
+	for id := range want {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		gt, ok := got[id]
+		if !ok || gt == nil {
+			return fmt.Sprintf("node %d missing", id)
+		}
+		gd, wd := gt.Data(), want[id].Data()
+		if len(gd) != len(wd) {
+			return fmt.Sprintf("node %d has %d elements, want %d", id, len(gd), len(wd))
+		}
+		for i := range gd {
+			if math.Float32bits(gd[i]) != math.Float32bits(wd[i]) {
+				return fmt.Sprintf("node %d element %d: %v != %v", id, i, gd[i], wd[i])
+			}
+		}
+	}
+	return ""
+}
+
+// hashOutputs digests a request series' outputs canonically: requests in
+// order, node IDs ascending, each tensor as its shape then raw float32 bits.
+func hashOutputs(outs []map[int]*cimmlc.Tensor) string {
+	h := sha256.New()
+	for _, m := range outs {
+		ids := make([]int, 0, len(m))
+		for id := range m {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			binary.Write(h, binary.LittleEndian, int64(id))
+			t := m[id]
+			for _, d := range t.Shape() {
+				binary.Write(h, binary.LittleEndian, int64(d))
+			}
+			for _, v := range t.Data() {
+				binary.Write(h, binary.LittleEndian, math.Float32bits(v))
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)[:12])
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package conformance
+
+// RaceEnabled reports whether the binary was built with the race detector;
+// the matrix tests downshift to RaceConfig when it is.
+const RaceEnabled = true

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestTablesDeterministic regenerates the cheap experiments twice and
+// requires byte-equal formatted output: the tables are CI artifacts and
+// golden-diff inputs, so row order and every printed value must be
+// reproducible run to run.
+func TestTablesDeterministic(t *testing.T) {
+	for _, id := range []string{"table1", "fig16"} {
+		first, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		second, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if first.Format() != second.Format() {
+			t.Errorf("%s: two runs formatted differently:\n--- first\n%s\n--- second\n%s",
+				id, first.Format(), second.Format())
+		}
+	}
+}
+
+// TestIDsDeterministic pins the registry listing order.
+func TestIDsDeterministic(t *testing.T) {
+	a, b := IDs(), IDs()
+	if len(a) == 0 {
+		t.Fatal("no experiments registered")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("IDs() order unstable: %v vs %v", a, b)
+		}
+		if i > 0 && a[i-1] >= a[i] {
+			t.Fatalf("IDs() not strictly sorted: %v", a)
+		}
+	}
+}

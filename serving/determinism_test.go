@@ -1,0 +1,57 @@
+package serving
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"cimmlc"
+)
+
+// TestListingsDeterministic pins the registry's introspection output: the
+// /v1/models endpoint and any dashboard built on it must see the same
+// ordering on every call, with registered architectures listed before the
+// presets and each group sorted.
+func TestListingsDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"zz-custom", "aa-custom"} {
+		a, err := cimmlc.Preset("toy-table2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Name = name
+		if err := r.RegisterArch(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := strings.Join(r.Archs(), ",")
+	second := strings.Join(r.Archs(), ",")
+	if first != second {
+		t.Errorf("Archs() unstable: %q vs %q", first, second)
+	}
+	if !strings.HasPrefix(first, "aa-custom,zz-custom,") {
+		t.Errorf("registered archs not sorted first: %q", first)
+	}
+	if m1, m2 := strings.Join(r.Models(), ","), strings.Join(r.Models(), ","); m1 != m2 {
+		t.Errorf("Models() unstable: %q vs %q", m1, m2)
+	}
+
+	ctx := context.Background()
+	for _, model := range []string{"mlp", "conv-relu"} {
+		if _, err := r.Get(ctx, model, "toy-table2"); err != nil {
+			t.Fatalf("build %s: %v", model, err)
+		}
+	}
+	l1, l2 := r.Loaded(), r.Loaded()
+	if len(l1) != 2 || len(l2) != 2 {
+		t.Fatalf("want 2 resident programs, got %d and %d", len(l1), len(l2))
+	}
+	for i := range l1 {
+		if l1[i].Key != l2[i].Key {
+			t.Errorf("Loaded() order unstable at %d: %v vs %v", i, l1[i].Key, l2[i].Key)
+		}
+	}
+	if !(l1[0].Key.Model < l1[1].Key.Model) {
+		t.Errorf("Loaded() not sorted by model: %v, %v", l1[0].Key, l1[1].Key)
+	}
+}
