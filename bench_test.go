@@ -211,6 +211,29 @@ func BenchmarkLowerRunPerRequest(b *testing.B) {
 	}
 }
 
+// BenchmarkAutoTune measures one full autotune compilation (heuristics +
+// search) under the default budget, reporting the achieved speedup.
+func BenchmarkAutoTune(b *testing.B) {
+	g, err := models.Build("lenet5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := arch.ToyExample()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		c, err := New(a, WithCache(0), WithAutoTune(Budget{}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := c.Compile(context.Background(), g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = res.Tuning.Speedup()
+	}
+	b.ReportMetric(speedup, "speedup")
+}
+
 // BenchmarkCompileThroughput measures raw compiler throughput per model, the
 // end-to-end cost a user pays.
 func BenchmarkCompileThroughput(b *testing.B) {

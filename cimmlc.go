@@ -53,6 +53,7 @@ import (
 	"cimmlc/internal/perfsim"
 	"cimmlc/internal/sched"
 	"cimmlc/internal/tensor"
+	"cimmlc/internal/tuner"
 )
 
 // Core compiler types.
@@ -100,6 +101,13 @@ type (
 	PassContext = core.PassContext
 	// TraceEvent describes one pipeline step; see WithTrace.
 	TraceEvent = core.TraceEvent
+	// Budget bounds the schedule autotuner's search; see WithAutoTune. The
+	// zero value selects the default bounds.
+	Budget = tuner.Budget
+	// TuningStats reports an autotune run (heuristic vs tuned cycles,
+	// candidates evaluated, accepted moves); see Result.Tuning and
+	// ProgramStats.Tuning.
+	TuningStats = tuner.Stats
 )
 
 // Computing modes.

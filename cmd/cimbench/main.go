@@ -12,6 +12,7 @@
 //	cimbench -loadgen -json  # micro-batching vs per-request load generator
 //	cimbench -conform        # cross-level conformance matrix vs goldens
 //	cimbench -conform -conform-full -json  # full-zoo sweep, CI artifact
+//	cimbench -tune -json     # autotune the short zoo, per-cell speedup JSON
 package main
 
 import (
@@ -37,6 +38,9 @@ func main() {
 	servingReqs := flag.Int("serving-requests", 32, "requests to serve in -serving")
 	conform := flag.Bool("conform", false, "run the cross-level conformance matrix against the committed goldens")
 	conformFull := flag.Bool("conform-full", false, "with -conform: sweep the full model zoo instead of the short matrix")
+	tune := flag.Bool("tune", false, "autotune every short-zoo (model, preset, level) cell and report speedups")
+	tuneBudget := flag.Int("tune-budget", 0, "with -tune: max candidate schedules per cell (0 = default)")
+	tuneBeam := flag.Int("tune-beam", 0, "with -tune: beam width (0 = default)")
 	loadgen := flag.Bool("loadgen", false, "run the micro-batching load generator instead of experiments")
 	loadgenReqs := flag.Int("loadgen-requests", 256, "requests per path in -loadgen")
 	loadgenClients := flag.Int("loadgen-clients", 16, "concurrent clients hitting the batcher in -loadgen")
@@ -58,6 +62,13 @@ func main() {
 	}
 	if *conform {
 		if err := runConform(*conformFull, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "cimbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *tune {
+		if err := runTuneSweep(*tuneBudget, *tuneBeam, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "cimbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"cimmlc"
+	"cimmlc/internal/conformance"
+)
+
+// tuneCell is the machine-readable record of one autotuned matrix cell.
+type tuneCell struct {
+	Model           string   `json:"model"`
+	Arch            string   `json:"arch"`
+	Level           string   `json:"level"`
+	HeuristicCycles float64  `json:"heuristic_cycles"`
+	TunedCycles     float64  `json:"tuned_cycles"`
+	Speedup         float64  `json:"speedup"`
+	Improved        bool     `json:"improved"`
+	Evaluated       int      `json:"evaluated"`
+	Rounds          int      `json:"rounds"`
+	Moves           []string `json:"moves,omitempty"`
+	WallNS          int64    `json:"wall_ns"`
+}
+
+// tuneReport is the full `cimbench -tune` artifact. MeanSpeedup is the
+// geometric mean over cells, the standard aggregate for speedup ratios.
+type tuneReport struct {
+	Budget      cimmlc.Budget `json:"budget"`
+	Cells       []tuneCell    `json:"cells"`
+	Improved    int           `json:"improved_cells"`
+	MeanSpeedup float64       `json:"mean_speedup"`
+	MaxSpeedup  float64       `json:"max_speedup"`
+	ElapsedNS   int64         `json:"elapsed_ns"`
+}
+
+// runTuneSweep autotunes every short-zoo (model, preset, level) cell and
+// reports per-cell speedups. It fails when any tuned schedule is slower than
+// its heuristic (the tuner's construction forbids it) or when no cell
+// improved at all — either means the search regressed.
+func runTuneSweep(candidates, beam int, jsonOut bool) error {
+	cfg := conformance.ShortConfig()
+	budget := cimmlc.Budget{MaxCandidates: candidates, Beam: beam}.Normalized()
+	ctx := context.Background()
+	start := time.Now()
+
+	rep := tuneReport{Budget: budget, MaxSpeedup: 1}
+	logSum := 0.0
+	for _, model := range cfg.Models {
+		for _, archName := range cfg.Archs {
+			for _, level := range cfg.Levels {
+				cell, err := tuneOne(ctx, model, archName, level, budget)
+				if err != nil {
+					return fmt.Errorf("%s|%s|%s: %w", model, archName, level, err)
+				}
+				rep.Cells = append(rep.Cells, cell)
+				if cell.Improved {
+					rep.Improved++
+				}
+				logSum += math.Log(cell.Speedup)
+				if cell.Speedup > rep.MaxSpeedup {
+					rep.MaxSpeedup = cell.Speedup
+				}
+				if cell.TunedCycles > cell.HeuristicCycles {
+					return fmt.Errorf("%s|%s|%s: tuned %.0f cycles exceeds heuristic %.0f — the never-worse guarantee is broken",
+						model, archName, level, cell.TunedCycles, cell.HeuristicCycles)
+				}
+			}
+		}
+	}
+	rep.MeanSpeedup = math.Exp(logSum / float64(len(rep.Cells)))
+	rep.ElapsedNS = time.Since(start).Nanoseconds()
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("autotune sweep: %d cells, budget %d candidates × beam %d, %v\n",
+			len(rep.Cells), budget.MaxCandidates, budget.Beam, time.Duration(rep.ElapsedNS).Round(time.Millisecond))
+		fmt.Printf("%-12s %-16s %-4s %14s %14s %8s %5s %6s\n", "model", "arch", "lvl", "heuristic", "tuned", "speedup", "eval", "rounds")
+		for _, c := range rep.Cells {
+			mark := ""
+			if c.Improved {
+				mark = " *"
+			}
+			fmt.Printf("%-12s %-16s %-4s %14.6g %14.6g %7.3fx %5d %6d%s\n",
+				c.Model, c.Arch, c.Level, c.HeuristicCycles, c.TunedCycles, c.Speedup, c.Evaluated, c.Rounds, mark)
+		}
+		fmt.Printf("improved %d/%d cells, mean speedup %.3fx, max %.3fx\n",
+			rep.Improved, len(rep.Cells), rep.MeanSpeedup, rep.MaxSpeedup)
+	}
+	if rep.Improved == 0 {
+		return fmt.Errorf("autotune improved no cell — the search has regressed")
+	}
+	return nil
+}
+
+// tuneOne compiles one cell with and without the autotuner.
+func tuneOne(ctx context.Context, model, archName string, level cimmlc.Mode, budget cimmlc.Budget) (tuneCell, error) {
+	g, err := cimmlc.Model(model)
+	if err != nil {
+		return tuneCell{}, err
+	}
+	a, err := cimmlc.Preset(archName)
+	if err != nil {
+		return tuneCell{}, err
+	}
+	a.Mode = level
+	hc, err := cimmlc.New(a, cimmlc.WithCache(0))
+	if err != nil {
+		return tuneCell{}, err
+	}
+	hres, err := hc.Compile(ctx, g)
+	if err != nil {
+		return tuneCell{}, err
+	}
+	tc, err := cimmlc.New(a, cimmlc.WithCache(0), cimmlc.WithAutoTune(budget))
+	if err != nil {
+		return tuneCell{}, err
+	}
+	start := time.Now()
+	tres, err := tc.Compile(ctx, g)
+	if err != nil {
+		return tuneCell{}, err
+	}
+	st := tres.Tuning
+	// Speedup and Improved derive from the row's own cycle columns (two
+	// independent end-to-end compiles), not the tuner's internal record, so
+	// the artifact can never disagree with itself.
+	speedup := 1.0
+	if tres.Report.Cycles > 0 {
+		speedup = hres.Report.Cycles / tres.Report.Cycles
+	}
+	return tuneCell{
+		Model:           model,
+		Arch:            archName,
+		Level:           string(level),
+		HeuristicCycles: hres.Report.Cycles,
+		TunedCycles:     tres.Report.Cycles,
+		Speedup:         speedup,
+		Improved:        tres.Report.Cycles < hres.Report.Cycles,
+		Evaluated:       st.Evaluated,
+		Rounds:          st.Rounds,
+		Moves:           st.Moves,
+		WallNS:          time.Since(start).Nanoseconds(),
+	}, nil
+}

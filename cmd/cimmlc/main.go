@@ -3,7 +3,9 @@
 // prints the schedule report and, optionally, the meta-operator flow.
 //
 // The run subcommand compiles once into an executable Program and serves a
-// stream of inference requests against it on the functional simulator.
+// stream of inference requests against it on the functional simulator. The
+// tune subcommand runs the schedule autotuner and reports the tuned-vs-
+// heuristic latency and the accepted moves.
 //
 // Usage:
 //
@@ -12,6 +14,7 @@
 //	cimmlc -model-file net.json -arch-file accel.json -report
 //	cimmlc -list
 //	cimmlc run -model conv-relu -arch toy-table2 -requests 64 -parallel 8
+//	cimmlc tune -model vgg7 -arch puma -budget 256
 package main
 
 import (
@@ -31,6 +34,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "run" {
 		runServe(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "tune" {
+		runTune(os.Args[2:])
 		return
 	}
 	compileMain()

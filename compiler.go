@@ -76,6 +76,19 @@ func WithoutRemap() Option { return func(c *Compiler) { c.opt.DisableRemap = tru
 // WithAllocator selects the CG duplication-search strategy.
 func WithAllocator(a Allocator) Option { return func(c *Compiler) { c.opt.Allocator = a } }
 
+// WithAutoTune inserts the schedule autotuner after the level optimizers:
+// a deterministic, cost-model-guided beam search over the §3.3 knob space
+// (per-node duplication, WLM remapping, pipeline and stagger toggles,
+// segment merges/splits) bounded by b. The tuned schedule is never worse
+// than the heuristic one — the incumbent starts as the heuristic schedule
+// and is only replaced by strictly cheaper candidates — and the search is
+// bit-reproducible regardless of Budget.Workers. Results are cached like
+// any compilation, keyed by the budget's result-affecting fields, and the
+// search outcome is recorded in Result.Tuning and ProgramStats.Tuning.
+func WithAutoTune(b Budget) Option {
+	return func(c *Compiler) { bb := b.Normalized(); c.opt.Tune = &bb }
+}
+
 // WithPass inserts a user pass into the pipeline immediately after the named
 // built-in pass (PassCG, PassMVM, PassVVM, PassPlace or PassSimulate); an
 // empty name inserts after the last optimization pass, before placement.
@@ -116,7 +129,14 @@ func New(a *Arch, opts ...Option) (*Compiler, error) {
 	if c.opt.Allocator != "" && c.opt.Allocator != AllocDP && c.opt.Allocator != AllocWaterfill {
 		return nil, fmt.Errorf("cimmlc: New: unknown allocator %q (valid: %s, %s)", c.opt.Allocator, AllocDP, AllocWaterfill)
 	}
-	passes, err := core.BuildPasses(c.extras)
+	extras := c.extras
+	if c.opt.Tune != nil {
+		// The tuner runs after the level optimizers and after any user
+		// passes anchored there, so it optimizes whatever schedule the full
+		// front half of the pipeline produced.
+		extras = append(append([]core.Insertion{}, extras...), core.Insertion{After: core.PassVVM, Pass: core.TunePass()})
+	}
+	passes, err := core.BuildPasses(extras)
 	if err != nil {
 		return nil, fmt.Errorf("cimmlc: New: %w", err)
 	}
@@ -304,13 +324,19 @@ func fingerprint(data []byte) string {
 
 // optionFingerprint folds every compilation-affecting setting — including
 // the names of user passes, which may rewrite schedules — into the cache
-// key.
+// key. Budget.Workers is deliberately excluded: the autotune search is
+// bit-reproducible across worker counts, so results are shareable.
 func optionFingerprint(opt core.Options, passes []core.Pass) string {
 	names := make([]string, len(passes))
 	for i, p := range passes {
 		names[i] = p.Name()
 	}
-	return fmt.Sprintf("p=%t,d=%t,s=%t,r=%t,max=%s,alloc=%s,passes=%v",
+	tune := "off"
+	if opt.Tune != nil {
+		b := opt.Tune.Normalized()
+		tune = fmt.Sprintf("c%d.b%d.r%d", b.MaxCandidates, b.Beam, b.MaxRounds)
+	}
+	return fmt.Sprintf("p=%t,d=%t,s=%t,r=%t,max=%s,alloc=%s,tune=%s,passes=%v",
 		opt.DisablePipeline, opt.DisableDuplication, opt.DisableStagger, opt.DisableRemap,
-		opt.MaxLevel, opt.Allocator, names)
+		opt.MaxLevel, opt.Allocator, tune, names)
 }

@@ -16,10 +16,17 @@ func allLevels() []cimmlc.Mode { return []cimmlc.Mode{cimmlc.CM, cimmlc.XBM, cim
 // run. Larger models are covered by the compile-level digests.
 func execModels() []string { return []string{"conv-relu", "mlp", "lenet5"} }
 
+// tuneBudget bounds the autotune property family's search: small enough to
+// keep the matrix fast, large enough to find real improvements (the -tune
+// sweep uses the tuner's own defaults instead).
+func tuneBudget() cimmlc.Budget {
+	return cimmlc.Budget{MaxCandidates: 32, Beam: 2, MaxRounds: 6}
+}
+
 // ShortConfig is the always-on matrix: five models spanning conv nets,
 // perceptrons and a transformer, on three presets spanning the paper's
 // machine classes, at all three scheduling levels — with the three cheap
-// models executed through every serving path.
+// models executed through every serving path and every cell autotuned.
 func ShortConfig() Config {
 	return Config{
 		Models:      []string{"conv-relu", "mlp", "lenet5", "vgg7", "vit-tiny"},
@@ -30,6 +37,8 @@ func ShortConfig() Config {
 		Seed:        1,
 		ScaleCheck:  true,
 		ScaleModels: []string{"conv-relu", "mlp", "lenet5", "vgg7", "vit-tiny"},
+		TuneCheck:   true,
+		TuneBudget:  tuneBudget(),
 	}
 }
 
@@ -64,6 +73,12 @@ func FullConfig() Config {
 		ScaleCheck:        true,
 		ScaleModels:       modelsExcept("resnet101", "resnet152"),
 		DeterminismBudget: 2 * time.Second,
+		// The autotune family stays on the short-zoo models: each check
+		// costs two tuned compilations per cell, which the deep ResNets
+		// cannot afford in CI.
+		TuneCheck:  true,
+		TuneModels: []string{"conv-relu", "mlp", "lenet5", "vgg7", "vit-tiny"},
+		TuneBudget: tuneBudget(),
 	}
 }
 

@@ -1,7 +1,7 @@
 // Package conformance is the cross-level conformance harness: a matrix
 // runner that sweeps (model zoo × architecture preset × computing-mode
 // level) through the full compile → lower → place → simulate stack and
-// checks three families of properties on every cell:
+// checks four families of properties on every cell:
 //
 //  1. Bit-identity — all execution paths the system exposes (the deprecated
 //     one-shot Compiler.Run, Program.Run, concurrent Program.RunBatch, the
@@ -22,6 +22,11 @@
 //     power, crossbars, meta-operator counts, output hash) is compared
 //     against committed goldens, so any behavioral drift in cg / mvm / vvm
 //     / mapping / perfsim / funcsim fails loudly with a cell-level diff.
+//
+//  4. Autotune properties — recompiling the cell with WithAutoTune must
+//     never exceed the heuristic latency, must be bit-deterministic across
+//     independent tuned compilations, and (for executed cells) must
+//     reproduce the untuned output bits exactly.
 //
 // The harness runs as `go test ./internal/conformance` (short matrix under
 // -short, full zoo otherwise) and as `cimbench -conform` for CI artifacts.
@@ -138,6 +143,12 @@ type Config struct {
 	// cells whose first compilation took longer are only digested once
 	// (0 = always recompile). The short matrix always recompiles.
 	DeterminismBudget time.Duration
+	// TuneCheck enables the autotune property family (see runTuneFamily)
+	// for cells whose model is in TuneModels (empty = every model), under
+	// the TuneBudget search bounds.
+	TuneCheck  bool
+	TuneModels []string
+	TuneBudget cimmlc.Budget
 	// Golden, when non-nil, is the expected digest per cell key; cells
 	// missing from it are reported as violations (run with -update).
 	Golden map[string]Digest
@@ -150,6 +161,7 @@ type CellResult struct {
 	Err         string        `json:"err,omitempty"`
 	ExecChecked bool          `json:"exec_checked"`
 	DetChecked  bool          `json:"det_checked"`
+	TuneChecked bool          `json:"tune_checked"`
 	CompileTime time.Duration `json:"compile_ns"`
 	// NoOptCycles is the unoptimized layer-serial baseline latency for the
 	// same machine, kept for the dominance check and the report.
@@ -351,6 +363,14 @@ func runCell(ctx context.Context, cell Cell, cfg Config, vs *violationSet) CellR
 			out.Err = "exec battery aborted; see violations"
 		}
 	}
+
+	// Fourth property family: autotuned schedules are never worse, tuned
+	// recompilation is bit-deterministic, and tuning never changes output
+	// bits (skipped for cells whose battery aborted — no reference hash).
+	if out.Err == "" && tuneCell(cell, cfg) {
+		out.TuneChecked = true
+		runTuneFamily(ctx, cell, cfg, g, a, out.Digest.scalarOnly(), out.Digest.OutputHash, vs)
+	}
 	return out
 }
 
@@ -539,6 +559,9 @@ func (r *Result) Format() string {
 		}
 		if c.ExecChecked {
 			checks += "x"
+		}
+		if c.TuneChecked {
+			checks += "t"
 		}
 		hash := c.Digest.OutputHash
 		if hash == "" {

@@ -1,0 +1,111 @@
+package conformance
+
+import (
+	"context"
+	"fmt"
+	"slices"
+
+	"cimmlc"
+)
+
+// runTuneFamily enforces the autotune property family on one cell (the
+// fourth family of the harness):
+//
+//  1. Never worse than the heuristic — the autotuned schedule's simulated
+//     cycles are ≤ the heuristic schedule's cycles for the same machine.
+//  2. Deterministic recompilation — two independent tuned compilations
+//     produce bit-identical digests and identical schedule fingerprints.
+//  3. Arithmetic preservation — for executed cells, the outputs of a
+//     Program built from the tuned compilation hash bit-identically to the
+//     untuned reference outputs: tuning changes the schedule, never the
+//     numbers.
+//
+// heuristic is the cell's untuned digest; baseHash the untuned exec-battery
+// output hash ("" for compile-only cells).
+func runTuneFamily(ctx context.Context, cell Cell, cfg Config, g *cimmlc.Graph, a *cimmlc.Arch, heuristic Digest, baseHash string, vs *violationSet) {
+	key := cell.Key()
+
+	tuned1, fp1, err := compileTuned(ctx, g, a, cfg.TuneBudget)
+	if err != nil {
+		vs.addf("%s: tuned compile: %v", key, err)
+		return
+	}
+	if tuned1.Cycles > heuristic.Cycles {
+		vs.addf("%s: tuned latency %v exceeds heuristic latency %v (never-worse guarantee broken)",
+			key, tuned1.Cycles, heuristic.Cycles)
+	}
+
+	tuned2, fp2, err := compileTuned(ctx, g, a, cfg.TuneBudget)
+	if err != nil {
+		vs.addf("%s: tuned recompile: %v", key, err)
+		return
+	}
+	if fp1 != fp2 {
+		vs.addf("%s: tuned recompilation chose a different schedule: fingerprint %s vs %s", key, fp1, fp2)
+	}
+	for _, d := range tuned2.diff(tuned1) {
+		vs.addf("%s: nondeterministic tuned compilation: %s", key, d)
+	}
+
+	if baseHash == "" {
+		return
+	}
+	// Rebuild the exec battery's exact program inputs on a tuned compiler
+	// and demand the same output bits.
+	c, err := cimmlc.New(a, cimmlc.WithCache(0), cimmlc.WithAutoTune(cfg.TuneBudget))
+	if err != nil {
+		vs.addf("%s: tuned exec compiler: %v", key, err)
+		return
+	}
+	w := cimmlc.RandomWeights(g, cfg.Seed)
+	reqs := seededRequests(g, cfg.Requests, cfg.Seed)
+	p, err := c.Build(ctx, g, w, cimmlc.CodegenOptions{}, cimmlc.WithCalibration(reqs[0]))
+	if err != nil {
+		vs.addf("%s: tuned Build: %v", key, err)
+		return
+	}
+	if p.Stats().Tuning == nil {
+		vs.addf("%s: tuned Program.Stats reports no tuning record", key)
+	}
+	outs := make([]map[int]*cimmlc.Tensor, len(reqs))
+	for i, req := range reqs {
+		out, err := p.Run(ctx, req)
+		if err != nil {
+			vs.addf("%s: tuned Program.Run request %d: %v", key, i, err)
+			return
+		}
+		outs[i] = out
+	}
+	if h := hashOutputs(outs); h != baseHash {
+		vs.addf("%s: tuned outputs hash %s differ from untuned %s (tuning must never change the arithmetic)", key, h, baseHash)
+	}
+}
+
+// compileTuned compiles g on a fresh autotuning compiler and returns the
+// digest and the tuned schedule's canonical fingerprint.
+func compileTuned(ctx context.Context, g *cimmlc.Graph, a *cimmlc.Arch, b cimmlc.Budget) (Digest, string, error) {
+	c, err := cimmlc.New(a, cimmlc.WithCache(0), cimmlc.WithAutoTune(b))
+	if err != nil {
+		return Digest{}, "", err
+	}
+	res, err := c.Compile(ctx, g)
+	if err != nil {
+		return Digest{}, "", err
+	}
+	if res.Tuning == nil {
+		return Digest{}, "", fmt.Errorf("tuned compilation returned no tuning record")
+	}
+	if res.Tuning.ScheduleFingerprint != res.Schedule.Fingerprint() {
+		return Digest{}, "", fmt.Errorf("tuning record fingerprint %s does not match the compiled schedule %s",
+			res.Tuning.ScheduleFingerprint, res.Schedule.Fingerprint())
+	}
+	return digestOf(res), res.Schedule.Fingerprint(), nil
+}
+
+// tuneCell reports whether the cell runs the autotune family.
+func tuneCell(c Cell, cfg Config) bool {
+	if !cfg.TuneCheck {
+		return false
+	}
+	return len(cfg.TuneModels) == 0 || slices.Contains(cfg.TuneModels, c.Model)
+}

@@ -17,6 +17,7 @@ import (
 	"cimmlc/internal/mapping"
 	"cimmlc/internal/perfsim"
 	"cimmlc/internal/sched"
+	"cimmlc/internal/tuner"
 )
 
 // Options tunes the compilation. The zero value enables every optimization
@@ -34,6 +35,9 @@ type Options struct {
 	MaxLevel arch.Mode
 	// Allocator overrides the CG duplication search strategy.
 	Allocator cg.Allocator
+	// Tune, when non-nil, runs the schedule autotuner after the level
+	// optimizers under the given search budget (see internal/tuner).
+	Tune *tuner.Budget
 }
 
 // Result bundles everything the compiler produced.
@@ -42,6 +46,10 @@ type Result struct {
 	Placement *mapping.Placement
 	Report    *perfsim.Report
 	Model     *cost.Model
+	// Tuning reports the autotune search when Options.Tune was set
+	// (heuristic vs tuned cycles, budget spent, accepted moves); nil for
+	// untuned compilations.
+	Tuning *tuner.Stats
 }
 
 // Compile runs the multi-level scheduling workflow.
@@ -52,7 +60,11 @@ func Compile(g *graph.Graph, a *arch.Arch, opt Options) (*Result, error) {
 // CompileCtx is Compile with cancellation: ctx is checked between passes and
 // inside the placement and simulation loops.
 func CompileCtx(ctx context.Context, g *graph.Graph, a *arch.Arch, opt Options) (*Result, error) {
-	passes, err := BuildPasses(nil)
+	var extras []Insertion
+	if opt.Tune != nil {
+		extras = append(extras, Insertion{After: PassVVM, Pass: TunePass()})
+	}
+	passes, err := BuildPasses(extras)
 	if err != nil {
 		return nil, err
 	}
@@ -84,5 +96,5 @@ func CompilePasses(ctx context.Context, g *graph.Graph, a *arch.Arch, opt Option
 	if err := RunPasses(ctx, passes, pc, trace); err != nil {
 		return nil, err
 	}
-	return &Result{Schedule: pc.Schedule, Placement: pc.Placement, Report: pc.Report, Model: m}, nil
+	return &Result{Schedule: pc.Schedule, Placement: pc.Placement, Report: pc.Report, Model: m, Tuning: pc.Tuning}, nil
 }

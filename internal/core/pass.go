@@ -13,6 +13,7 @@ import (
 	"cimmlc/internal/mvm"
 	"cimmlc/internal/perfsim"
 	"cimmlc/internal/sched"
+	"cimmlc/internal/tuner"
 	"cimmlc/internal/vvm"
 )
 
@@ -50,6 +51,8 @@ type PassContext struct {
 	Placement *mapping.Placement
 	// Report is set by the simulate pass.
 	Report *perfsim.Report
+	// Tuning is set by the autotune pass when Options.Tune is enabled.
+	Tuning *tuner.Stats
 }
 
 // TraceEvent describes one pipeline step for Options' trace hooks.

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"context"
+
+	"cimmlc/internal/arch"
+	"cimmlc/internal/tuner"
+)
+
+// PassTune is the schedule autotuner's pass name. The pass is not part of
+// the default pipeline: it is spliced in after the level optimizers (the
+// PassVVM anchor) when Options.Tune is set, so untuned compilations keep the
+// exact Figure-3 pipeline and its cache fingerprints.
+const PassTune = "autotune"
+
+// TunePass returns the autotune pass, for insertion after PassVVM. Its Run
+// is a no-op when the compilation's Options.Tune is nil, so one pipeline
+// can serve both tuned and untuned option sets.
+func TunePass() Pass { return tunePass{} }
+
+type tunePass struct{}
+
+func (tunePass) Name() string              { return PassTune }
+func (tunePass) Applicable(arch.Mode) bool { return true }
+
+func (tunePass) Run(ctx context.Context, pc *PassContext) error {
+	if pc.Opt.Tune == nil {
+		return nil
+	}
+	// The search space is the effective level's knob families minus the
+	// techniques the user disabled: the tuner must never re-enable an
+	// optimization an ablation or hardware constraint turned off.
+	k := tuner.KnobsFor(pc.Level)
+	if pc.Opt.DisableDuplication {
+		k.Dup = false
+	}
+	if pc.Opt.DisableRemap {
+		k.Remap = false
+	}
+	if pc.Opt.DisablePipeline {
+		k.Pipeline = false
+	}
+	if pc.Opt.DisableStagger {
+		k.Stagger = false
+	}
+	s, st, err := tuner.Tune(ctx, pc.Schedule, pc.Model, k, *pc.Opt.Tune)
+	if err != nil {
+		return err
+	}
+	pc.Schedule = s
+	pc.Tuning = st
+	return nil
+}

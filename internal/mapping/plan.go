@@ -1,0 +1,112 @@
+package mapping
+
+import (
+	"fmt"
+
+	"cimmlc/internal/arch"
+	"cimmlc/internal/graph"
+)
+
+// This file is the planning calculus the schedule autotuner prunes with: the
+// same packing arithmetic placeNode performs, computed without materializing
+// tiles. Every function here must stay in lockstep with placeNode —
+// TestSegmentCoresMatchesPlace compares them exhaustively.
+
+// CopyTiles returns the number of physical crossbar tiles one copy of f
+// occupies at WLM remap factor m: each row-stripe splits into sub-tiles of
+// ceil(rows/m) wordlines, and every sub-tile spans the copy's column tiles.
+// m is clamped to the footprint's row-group count, as placement clamps it.
+func (f Footprint) CopyTiles(a *arch.Arch, m int) int {
+	if m > f.RowGroups {
+		m = f.RowGroups
+	}
+	if m < 1 {
+		m = 1
+	}
+	total := 0
+	for tr := 0; tr < f.TilesR; tr++ {
+		tileRows := f.TileRows(tr, a)
+		if tileRows <= 0 {
+			continue
+		}
+		subRows := ceilDiv(tileRows, m)
+		total += ceilDiv(tileRows, subRows) * f.TilesC
+	}
+	return total
+}
+
+// CoresNeeded returns the cores placement consumes for d copies of f at
+// remap m when the node starts on a fresh core. In core mode every copy
+// starts on a core boundary; XBM/WLM pack copies at crossbar granularity.
+func CoresNeeded(a *arch.Arch, f Footprint, d, m int) int {
+	tiles := f.CopyTiles(a, m)
+	xb := a.Core.XBCount()
+	if a.Mode == arch.CM {
+		return d * ceilDiv(tiles, xb)
+	}
+	return ceilDiv(d*tiles, xb)
+}
+
+// SegmentCores walks one segment's CIM nodes in order and returns the cores
+// the placement would consume, failing with the same conditions PlaceCtx
+// rejects: an oversized node (one copy exceeding the remaining crossbars)
+// with duplication or remapping applied, a node whose tiles overflow the
+// remaining window, or a segment total beyond the chip's core count.
+func SegmentCores(g *graph.Graph, a *arch.Arch, fps map[int]Footprint, dup, remap map[int]int, seg []int) (int, error) {
+	nextCore := 0
+	xbPerCore := a.Core.XBCount()
+	chipXBs := a.TotalCrossbars()
+	for _, id := range seg {
+		n := g.MustNode(id)
+		if !n.Op.CIMSupported() {
+			continue
+		}
+		f, ok := fps[id]
+		if !ok {
+			return 0, fmt.Errorf("mapping: no footprint for node %d", id)
+		}
+		d := valueOr(dup, id, 1)
+		m := valueOr(remap, id, 1)
+		if d < 1 || m < 1 {
+			return 0, fmt.Errorf("mapping: node %d has non-positive dup %d or remap %d", id, d, m)
+		}
+		if m > f.RowGroups {
+			m = f.RowGroups
+		}
+		firstXB := nextCore * xbPerCore
+		window := chipXBs - firstXB
+		if window <= 0 {
+			return 0, fmt.Errorf("mapping: no crossbars left for node %d starting at core %d", id, nextCore)
+		}
+		// placeNode's oversize test is on the un-planned upper bound
+		// XBsPerCopy·m, not the packed tile count — mirror it exactly.
+		if f.XBsPerCopy*m > window {
+			if d > 1 || m > 1 {
+				return 0, fmt.Errorf("mapping: node %d exceeds chip capacity; duplication %d / remap %d not allowed", id, d, m)
+			}
+			// A lone oversized copy wraps into sequential rounds over the
+			// remaining window.
+			tiles := f.CopyTiles(a, 1)
+			if tiles > window {
+				tiles = window
+			}
+			nextCore += ceilDiv(tiles, xbPerCore)
+			continue
+		}
+		tiles := f.CopyTiles(a, m)
+		// placeNode's running tile index includes core-alignment padding in
+		// CM mode; the overflow test is on that padded count.
+		seq := d * tiles
+		if a.Mode == arch.CM {
+			seq = (d-1)*ceilDiv(tiles, xbPerCore)*xbPerCore + tiles
+		}
+		if seq > window && (d > 1 || m > 1) {
+			return 0, fmt.Errorf("mapping: node %d with dup %d remap %d needs %d crossbars but only %d remain", id, d, m, seq, window)
+		}
+		nextCore += CoresNeeded(a, f, d, m)
+	}
+	if nextCore > a.Chip.CoreCount() {
+		return 0, fmt.Errorf("mapping: segment needs %d cores but the chip has %d", nextCore, a.Chip.CoreCount())
+	}
+	return nextCore, nil
+}

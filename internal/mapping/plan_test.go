@@ -1,0 +1,102 @@
+package mapping
+
+import (
+	"fmt"
+	"testing"
+
+	"cimmlc/internal/arch"
+	"cimmlc/internal/graph"
+)
+
+// planModel builds a small conv/dense chain and returns its graph, CIM node
+// IDs (in one segment) and footprints on a.
+func planModel(t *testing.T, a *arch.Arch) (*graph.Graph, []int, map[int]Footprint) {
+	t.Helper()
+	g := graph.NewBuilder("plan", 3, 12, 12).
+		Conv(8, 3, 1, 1).ReLU().
+		Conv(16, 3, 1, 1).ReLU().
+		Flatten().Dense(10).MustFinish()
+	fps, err := Footprints(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seg []int
+	for _, n := range g.Nodes {
+		if n.Op != graph.OpInput {
+			seg = append(seg, n.ID)
+		}
+	}
+	return g, seg, fps
+}
+
+// TestSegmentCoresMatchesPlace sweeps presets × dup × remap settings and
+// checks the planning calculus agrees with the real placement on both the
+// core count and the accept/reject decision — the invariant the autotuner's
+// pruner depends on.
+func TestSegmentCoresMatchesPlace(t *testing.T) {
+	for _, preset := range arch.PresetNames() {
+		for _, mode := range []arch.Mode{arch.CM, arch.XBM, arch.WLM} {
+			a, err := arch.Preset(preset)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a.Mode = mode
+			g, seg, fps := planModel(t, a)
+			cim := g.CIMNodeIDs()
+			for _, d := range []int{1, 2, 3, 5, 9, 64} {
+				for _, m := range []int{1, 2, 4, 7} {
+					dup := map[int]int{}
+					remap := map[int]int{}
+					// Stress the packing with mixed settings: the first CIM
+					// node gets (d, m), the second d alone, the rest default.
+					dup[cim[0]] = d
+					remap[cim[0]] = m
+					if len(cim) > 1 {
+						dup[cim[1]] = d
+					}
+					name := fmt.Sprintf("%s/%s/d%d/m%d", preset, mode, d, m)
+
+					planCores, planErr := SegmentCores(g, a, fps, dup, remap, seg)
+					p, placeErr := Place(g, a, fps, dup, remap, [][]int{seg})
+					if (planErr == nil) != (placeErr == nil) {
+						t.Errorf("%s: plan err %v but place err %v", name, planErr, placeErr)
+						continue
+					}
+					if planErr != nil {
+						continue
+					}
+					if got := p.SegmentCores[0]; got != planCores {
+						t.Errorf("%s: plan says %d cores, placement used %d", name, planCores, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCopyTilesBounds pins the sub-tile arithmetic: remap 1 equals the
+// footprint's tile count, remap clamps at the row-group count, and the tile
+// count never exceeds XBsPerCopy × remap.
+func TestCopyTilesBounds(t *testing.T) {
+	a, err := arch.Preset("toy-table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, fps := planModel(t, a)
+	for _, id := range g.CIMNodeIDs() {
+		f := fps[id]
+		if got := f.CopyTiles(a, 1); got != f.XBsPerCopy {
+			t.Errorf("node %d: CopyTiles(1) = %d, want XBsPerCopy %d", id, got, f.XBsPerCopy)
+		}
+		for m := 1; m <= f.RowGroups+2; m++ {
+			got := f.CopyTiles(a, m)
+			if got < f.XBsPerCopy || got > f.XBsPerCopy*f.RowGroups {
+				t.Errorf("node %d remap %d: CopyTiles %d outside [%d, %d]", id, m, got, f.XBsPerCopy, f.XBsPerCopy*f.RowGroups)
+			}
+			if m >= f.RowGroups && got != f.CopyTiles(a, f.RowGroups) {
+				t.Errorf("node %d: CopyTiles(%d) = %d not clamped to CopyTiles(RowGroups) = %d",
+					id, m, got, f.CopyTiles(a, f.RowGroups))
+			}
+		}
+	}
+}

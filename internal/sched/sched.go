@@ -9,6 +9,9 @@
 package sched
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"sort"
 
@@ -182,6 +185,53 @@ func (s *Schedule) Clone() *Schedule {
 	}
 	c.Levels = append(c.Levels, s.Levels...)
 	return c
+}
+
+// Fingerprint returns a canonical digest of every scheduling decision: the
+// Dup and Remap maps (sorted by node ID, defaults omitted), the Pipeline and
+// Stagger flags, the segment partition and the Levels trail. Two schedules
+// with identical decisions produce identical fingerprints regardless of map
+// iteration order or how the decisions were reached, so the autotuner uses
+// it to deduplicate search states and the determinism tests use it to compare
+// schedules across runs byte-for-byte. Graph and Arch identity are NOT part
+// of the fingerprint; callers comparing across machines must scope it.
+func (s *Schedule) Fingerprint() string {
+	h := sha256.New()
+	writeI64 := func(v int64) { binary.Write(h, binary.LittleEndian, v) }
+	writeMap := func(tag byte, m map[int]int) {
+		h.Write([]byte{tag})
+		for _, k := range sortedKeys(m) {
+			if m[k] == 1 {
+				continue // default value; absent and 1 must digest alike
+			}
+			writeI64(int64(k))
+			writeI64(int64(m[k]))
+		}
+	}
+	writeMap('D', s.Dup)
+	writeMap('R', s.Remap)
+	flags := byte(0)
+	if s.Pipeline {
+		flags |= 1
+	}
+	if s.Stagger {
+		flags |= 2
+	}
+	h.Write([]byte{'F', flags})
+	h.Write([]byte{'S'})
+	for _, seg := range s.Segments {
+		writeI64(int64(len(seg)))
+		for _, id := range seg {
+			writeI64(int64(id))
+		}
+	}
+	h.Write([]byte{'L'})
+	for _, l := range s.Levels {
+		writeI64(int64(len(l)))
+		h.Write([]byte(l))
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
 }
 
 // sortedKeys returns m's keys in ascending order.

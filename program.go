@@ -47,6 +47,10 @@ type ProgramStats struct {
 	// PoolMisses counts runs that had to allocate a fresh one.
 	PoolHits   uint64
 	PoolMisses uint64
+	// Tuning reports the autotune search the program's schedule came from
+	// (tuned vs heuristic cycles); nil when the program was compiled without
+	// WithAutoTune. Treat it as read-only.
+	Tuning *TuningStats
 }
 
 // BuildOption configures Compiler.Build.
@@ -320,11 +324,15 @@ func (p *Program) Verify(ctx context.Context, inputs map[int]*Tensor, floatTol f
 
 // Stats returns a snapshot of the program's serving counters.
 func (p *Program) Stats() ProgramStats {
-	return ProgramStats{
+	st := ProgramStats{
 		Requests:   p.requests.Load(),
 		PoolHits:   p.poolHits.Load(),
 		PoolMisses: p.poolMisses.Load(),
 	}
+	if p.res != nil {
+		st.Tuning = p.res.Tuning
+	}
+	return st
 }
 
 // Result returns the compilation result the program was built from

@@ -49,6 +49,15 @@ func WithBuildOptions(opts ...cimmlc.BuildOption) RegistryOption {
 	return func(r *Registry) { r.buildOpts = append(r.buildOpts, opts...) }
 }
 
+// WithAutoTune makes every compiler the registry creates run the schedule
+// autotuner (cimmlc.WithAutoTune) under budget b, so each (model, arch)
+// Program is tuned exactly once — on its first Get — and every later request
+// serves the tuned schedule. Registered and preset architectures alike are
+// affected.
+func WithAutoTune(b cimmlc.Budget) RegistryOption {
+	return func(r *Registry) { r.compilerOpts = append(r.compilerOpts, cimmlc.WithAutoTune(b)) }
+}
+
 // Registry maps (model, arch) keys to lazily-built, cached Programs. It is
 // safe for concurrent use: concurrent Gets of the same key coalesce so the
 // expensive Build (compile + lower + weight programming) runs exactly once,
@@ -56,9 +65,10 @@ func WithBuildOptions(opts ...cimmlc.BuildOption) RegistryOption {
 // explicitly registered architectures first, then the built-in presets;
 // all names are case-insensitive.
 type Registry struct {
-	source    ModelSource
-	seed      uint64
-	buildOpts []cimmlc.BuildOption
+	source       ModelSource
+	seed         uint64
+	buildOpts    []cimmlc.BuildOption
+	compilerOpts []cimmlc.Option
 
 	mu        sync.Mutex
 	archs     map[string]struct{}         // registered names, key: lower(name)
@@ -115,7 +125,7 @@ func (r *Registry) RegisterArch(a *cimmlc.Arch) error {
 	}
 	// New validates the description and snapshots it; keeping the compiler
 	// means the first Get for this arch pays no extra setup.
-	c, err := cimmlc.New(a)
+	c, err := cimmlc.New(a, r.compilerOpts...)
 	if err != nil {
 		return err
 	}
@@ -154,7 +164,7 @@ func (r *Registry) compiler(name string) (*cimmlc.Compiler, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err = cimmlc.New(a)
+	c, err = cimmlc.New(a, r.compilerOpts...)
 	if err != nil {
 		return nil, err
 	}

@@ -118,3 +118,77 @@ func TestRegistryRegisterArchJSON(t *testing.T) {
 		t.Fatalf("malformed arch: got %v, want available-listing error", err)
 	}
 }
+
+// TestRegistryAutoTune checks the WithAutoTune opt-in: the registry's
+// lazily-built Programs carry a tuning record, the tuned schedule is never
+// worse than the heuristic, and tuning happens once per key (the singleflight
+// build, not per request).
+func TestRegistryAutoTune(t *testing.T) {
+	ctx := context.Background()
+	r := NewRegistry(WithAutoTune(cimmlc.Budget{MaxCandidates: 16}))
+	p, err := r.Get(ctx, "conv-relu", "toy-table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats().Tuning
+	if st == nil {
+		t.Fatal("registry built an untuned Program despite WithAutoTune")
+	}
+	if st.TunedCycles > st.HeuristicCycles {
+		t.Errorf("tuned %v > heuristic %v", st.TunedCycles, st.HeuristicCycles)
+	}
+	// A second Get serves the resident tuned Program without rebuilding.
+	p2, err := r.Get(ctx, "conv-relu", "toy-table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != p {
+		t.Error("second Get rebuilt the Program")
+	}
+	if got := r.Builds(); got != 1 {
+		t.Errorf("registry ran %d builds, want 1", got)
+	}
+
+	// An untuned registry serves identical output bits: tuning must change
+	// the schedule, never the arithmetic.
+	plain := NewRegistry()
+	q, err := plain.Get(ctx, "conv-relu", "toy-table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Stats().Tuning != nil {
+		t.Error("default registry unexpectedly tuned")
+	}
+	in := map[int]*cimmlc.Tensor{}
+	for id, shape := range p.Inputs() {
+		tns := cimmlc.NewTensor(shape...)
+		tns.Rand(3, 1)
+		in[id] = tns
+	}
+	tunedOut, err := p.Run(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainOut, err := q.Run(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tunedOut) != len(plainOut) {
+		t.Fatalf("output count differs: %d vs %d", len(tunedOut), len(plainOut))
+	}
+	for id, want := range plainOut {
+		got, ok := tunedOut[id]
+		if !ok {
+			t.Fatalf("tuned output missing node %d", id)
+		}
+		wd, gd := want.Data(), got.Data()
+		if len(wd) != len(gd) {
+			t.Fatalf("node %d: %d vs %d elements", id, len(gd), len(wd))
+		}
+		for i := range wd {
+			if wd[i] != gd[i] {
+				t.Fatalf("node %d element %d: tuned %v != untuned %v", id, i, gd[i], wd[i])
+			}
+		}
+	}
+}
