@@ -15,6 +15,13 @@
 //	cimmlc -list
 //	cimmlc run -model conv-relu -arch toy-table2 -requests 64 -parallel 8
 //	cimmlc tune -model vgg7 -arch puma -budget 256
+//	cimmlc vet lenet5 puma
+//	cimmlc vet -zoo
+//	cimmlc vet -selftest
+//
+// The vet subcommand compiles with the static IR verifier (internal/
+// irverify) forced on and reports rule-named diagnostics; -selftest proves
+// the rules still reject the seeded-corruption fixtures in this build.
 package main
 
 import (
@@ -38,6 +45,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "tune" {
 		runTune(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "vet" {
+		runVet(os.Args[2:])
 		return
 	}
 	compileMain()

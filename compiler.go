@@ -7,11 +7,13 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sync"
+	"testing"
 
 	"cimmlc/internal/arch"
 	"cimmlc/internal/codegen"
 	"cimmlc/internal/core"
 	"cimmlc/internal/graph"
+	"cimmlc/internal/irverify"
 )
 
 // DefaultCacheSize is the artifact-cache capacity a Compiler gets when
@@ -98,6 +100,22 @@ func WithPass(after string, p Pass) Option {
 	return func(c *Compiler) { c.extras = append(c.extras, core.Insertion{After: after, Pass: p}) }
 }
 
+// WithVerifyIR enables the static IR verifier (internal/irverify): the
+// input graph and every pipeline stage's output are checked against the IR
+// invariant catalog (graph well-formedness, schedule legality per the
+// computing-mode level, mapping soundness), and Lower statically verifies
+// generated flows (operand def-before-use, endpoint existence, parallel
+// write conflicts) before returning them. Violations surface as *irverify
+// errors naming the stage and the broken rules. The verifier is on by
+// default in test binaries (testing.Testing()) so every compilation a test
+// performs is checked; production callers opt in explicitly.
+func WithVerifyIR() Option { return func(c *Compiler) { c.opt.VerifyIR = true } }
+
+// WithoutVerifyIR disables the static IR verifier, including the
+// in-test-binary default. Intended for tests that deliberately construct
+// illegal intermediates (or benchmark compilation throughput).
+func WithoutVerifyIR() Option { return func(c *Compiler) { c.opt.VerifyIR = false } }
+
 // WithCache sets the artifact-cache capacity in entries; 0 disables caching.
 func WithCache(n int) Option { return func(c *Compiler) { c.cap = n } }
 
@@ -118,6 +136,9 @@ func New(a *Arch, opts ...Option) (*Compiler, error) {
 		return nil, fmt.Errorf("cimmlc: New: %w", err)
 	}
 	c := &Compiler{arch: *a, cap: DefaultCacheSize}
+	// Under `go test` every compilation is verified by default; WithVerifyIR
+	// / WithoutVerifyIR override in either direction.
+	c.opt.VerifyIR = testing.Testing()
 	for _, o := range opts {
 		if o != nil {
 			o(c)
@@ -257,7 +278,18 @@ func (c *Compiler) Lower(ctx context.Context, g *Graph, res *Result, opt Codegen
 		return nil, fmt.Errorf("cimmlc: Lower: %w", err)
 	}
 	a := c.arch
-	return codegen.Generate(gc, &a, res.Schedule, res.Placement, res.Model, opt)
+	fr, err := codegen.Generate(gc, &a, res.Schedule, res.Placement, res.Model, opt)
+	if err != nil {
+		return nil, err
+	}
+	if c.opt.VerifyIR {
+		// Truncated flows verify vacuously inside VerifyFlow: they are
+		// illustrative, not executable.
+		if vs := irverify.VerifyFlow(gc, &a, res.Schedule, res.Model.FPs, fr); len(vs) > 0 {
+			return nil, fmt.Errorf("cimmlc: Lower: %w", &irverify.Error{Stage: "codegen", Violations: vs})
+		}
+	}
+	return fr, nil
 }
 
 // Run executes a generated flow on the functional simulator and returns the
@@ -336,7 +368,7 @@ func optionFingerprint(opt core.Options, passes []core.Pass) string {
 		b := opt.Tune.Normalized()
 		tune = fmt.Sprintf("c%d.b%d.r%d", b.MaxCandidates, b.Beam, b.MaxRounds)
 	}
-	return fmt.Sprintf("p=%t,d=%t,s=%t,r=%t,max=%s,alloc=%s,tune=%s,passes=%v",
+	return fmt.Sprintf("p=%t,d=%t,s=%t,r=%t,max=%s,alloc=%s,tune=%s,verify=%t,passes=%v",
 		opt.DisablePipeline, opt.DisableDuplication, opt.DisableStagger, opt.DisableRemap,
-		opt.MaxLevel, opt.Allocator, tune, names)
+		opt.MaxLevel, opt.Allocator, tune, opt.VerifyIR, names)
 }

@@ -306,10 +306,9 @@ func waterfill(ops []opInfo, budget int) map[int]int {
 	return best
 }
 
+// ceilDiv64 rounds up; divisors come from arch fields already checked
+// positive by arch.Validate.
 func ceilDiv64(a, b int64) int64 {
-	if b <= 0 {
-		panic("cg: ceilDiv64 by non-positive divisor")
-	}
 	return (a + b - 1) / b
 }
 

@@ -1,23 +1,24 @@
-package codegen
+package codegen_test
 
 import (
 	"strings"
 	"testing"
 
 	"cimmlc/internal/arch"
+	"cimmlc/internal/codegen"
 	"cimmlc/internal/core"
 	"cimmlc/internal/graph"
 	"cimmlc/internal/models"
 	"cimmlc/internal/mop"
 )
 
-func compileAndGenerate(t *testing.T, g *graph.Graph, a *arch.Arch, opt Options) *Result {
+func compileAndGenerate(t *testing.T, g *graph.Graph, a *arch.Arch, opt codegen.Options) *codegen.Result {
 	t.Helper()
 	res, err := core.Compile(g, a, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := Generate(g, a, res.Schedule, res.Placement, res.Model, opt)
+	out, err := codegen.Generate(g, a, res.Schedule, res.Placement, res.Model, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func toyInMode(m arch.Mode) *arch.Arch {
 // splitting the feature map, followed by the Relu DCOM.
 func TestCMFlowMatchesFigure16c(t *testing.T) {
 	g := models.ConvReLU()
-	out := compileAndGenerate(t, g, toyInMode(arch.CM), Options{})
+	out := compileAndGenerate(t, g, toyInMode(arch.CM), codegen.Options{})
 	text := out.Flow.Print()
 	if !strings.Contains(text, "cim.readcore") {
 		t.Fatalf("CM flow missing readcore:\n%s", text)
@@ -77,7 +78,7 @@ func TestCMFlowMatchesFigure16c(t *testing.T) {
 // activates them with cim.readxb per window.
 func TestXBMFlowMatchesFigure16d(t *testing.T) {
 	g := models.ConvReLU()
-	out := compileAndGenerate(t, g, toyInMode(arch.XBM), Options{})
+	out := compileAndGenerate(t, g, toyInMode(arch.XBM), codegen.Options{})
 	st := out.Flow.Stats()
 	// MVM duplication is 4 (§3.4): four crossbars programmed at init.
 	writes := 0
@@ -106,7 +107,7 @@ func TestXBMFlowMatchesFigure16d(t *testing.T) {
 // at most parallel_row wordlines per operator.
 func TestWLMFlowMatchesFigure16e(t *testing.T) {
 	g := models.ConvReLU()
-	out := compileAndGenerate(t, g, toyInMode(arch.WLM), Options{})
+	out := compileAndGenerate(t, g, toyInMode(arch.WLM), codegen.Options{})
 	text := out.Flow.Print()
 	if !strings.Contains(text, "cim.readrow") || !strings.Contains(text, "cim.writerow") {
 		t.Fatalf("WLM flow missing wordline meta-operators:\n%s", text[:min(len(text), 2000)])
@@ -130,7 +131,7 @@ func TestWLMFlowMatchesFigure16e(t *testing.T) {
 
 func TestLayoutDisjointRegions(t *testing.T) {
 	g := models.LeNet5()
-	out := compileAndGenerate(t, g, toyInMode(arch.XBM), Options{MaxWindowsPerOp: 2})
+	out := compileAndGenerate(t, g, toyInMode(arch.XBM), codegen.Options{MaxWindowsPerOp: 2})
 	lay := out.Layout
 	type span struct{ base, size int64 }
 	var spans []span
@@ -155,8 +156,8 @@ func TestLayoutDisjointRegions(t *testing.T) {
 
 func TestTruncationFlag(t *testing.T) {
 	g := models.ConvReLU()
-	full := compileAndGenerate(t, g, toyInMode(arch.XBM), Options{})
-	capped := compileAndGenerate(t, g, toyInMode(arch.XBM), Options{MaxWindowsPerOp: 4})
+	full := compileAndGenerate(t, g, toyInMode(arch.XBM), codegen.Options{})
+	capped := compileAndGenerate(t, g, toyInMode(arch.XBM), codegen.Options{MaxWindowsPerOp: 4})
 	if full.Truncated {
 		t.Fatal("full emission marked truncated")
 	}
@@ -170,7 +171,7 @@ func TestTruncationFlag(t *testing.T) {
 
 func TestFlowRoundTripsThroughParser(t *testing.T) {
 	g := models.ConvReLU()
-	out := compileAndGenerate(t, g, toyInMode(arch.WLM), Options{MaxWindowsPerOp: 3})
+	out := compileAndGenerate(t, g, toyInMode(arch.WLM), codegen.Options{MaxWindowsPerOp: 3})
 	text := out.Flow.Print()
 	back, err := mop.Parse(text)
 	if err != nil {
@@ -194,7 +195,7 @@ func TestDigitalLowerings(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := Generate(g, a, res.Schedule, res.Placement, res.Model, Options{MaxWindowsPerOp: 1})
+	out, err := codegen.Generate(g, a, res.Schedule, res.Placement, res.Model, codegen.Options{MaxWindowsPerOp: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

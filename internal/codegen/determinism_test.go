@@ -1,9 +1,10 @@
-package codegen
+package codegen_test
 
 import (
 	"testing"
 
 	"cimmlc/internal/arch"
+	"cimmlc/internal/codegen"
 	"cimmlc/internal/models"
 )
 
@@ -14,8 +15,8 @@ import (
 // golden-snapshot testing and flow-text diffing.
 func TestGenerateDeterministic(t *testing.T) {
 	for _, mode := range []arch.Mode{arch.CM, arch.XBM, arch.WLM} {
-		first := compileAndGenerate(t, models.LeNet5(), toyInMode(mode), Options{})
-		second := compileAndGenerate(t, models.LeNet5(), toyInMode(mode), Options{})
+		first := compileAndGenerate(t, models.LeNet5(), toyInMode(mode), codegen.Options{})
+		second := compileAndGenerate(t, models.LeNet5(), toyInMode(mode), codegen.Options{})
 		if first.Flow.Print() != second.Flow.Print() {
 			t.Errorf("mode %s: two identical lowerings printed different flows", mode)
 		}

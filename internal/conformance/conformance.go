@@ -302,7 +302,7 @@ func runCell(ctx context.Context, cell Cell, cfg Config, vs *violationSet) CellR
 	if err != nil {
 		return fail(err)
 	}
-	c, err := cimmlc.New(a, cimmlc.WithCache(0))
+	c, err := cimmlc.New(a, cimmlc.WithCache(0), cimmlc.WithVerifyIR())
 	if err != nil {
 		return fail(err)
 	}
@@ -319,7 +319,7 @@ func runCell(ctx context.Context, cell Cell, cfg Config, vs *violationSet) CellR
 	// comparable because repeated runs agree exactly).
 	if cfg.DeterminismBudget == 0 || out.CompileTime <= cfg.DeterminismBudget {
 		out.DetChecked = true
-		c2, err := cimmlc.New(a, cimmlc.WithCache(0))
+		c2, err := cimmlc.New(a, cimmlc.WithCache(0), cimmlc.WithVerifyIR())
 		if err != nil {
 			return fail(err)
 		}
@@ -493,7 +493,7 @@ func runScaleChecks(ctx context.Context, cfg Config, results []CellResult, vs *v
 }
 
 func compileOn(ctx context.Context, g *cimmlc.Graph, a *cimmlc.Arch) (*cimmlc.Result, error) {
-	c, err := cimmlc.New(a, cimmlc.WithCache(0))
+	c, err := cimmlc.New(a, cimmlc.WithCache(0), cimmlc.WithVerifyIR())
 	if err != nil {
 		return nil, err
 	}

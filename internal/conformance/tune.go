@@ -52,7 +52,7 @@ func runTuneFamily(ctx context.Context, cell Cell, cfg Config, g *cimmlc.Graph, 
 	}
 	// Rebuild the exec battery's exact program inputs on a tuned compiler
 	// and demand the same output bits.
-	c, err := cimmlc.New(a, cimmlc.WithCache(0), cimmlc.WithAutoTune(cfg.TuneBudget))
+	c, err := cimmlc.New(a, cimmlc.WithCache(0), cimmlc.WithAutoTune(cfg.TuneBudget), cimmlc.WithVerifyIR())
 	if err != nil {
 		vs.addf("%s: tuned exec compiler: %v", key, err)
 		return
@@ -84,7 +84,7 @@ func runTuneFamily(ctx context.Context, cell Cell, cfg Config, g *cimmlc.Graph, 
 // compileTuned compiles g on a fresh autotuning compiler and returns the
 // digest and the tuned schedule's canonical fingerprint.
 func compileTuned(ctx context.Context, g *cimmlc.Graph, a *cimmlc.Arch, b cimmlc.Budget) (Digest, string, error) {
-	c, err := cimmlc.New(a, cimmlc.WithCache(0), cimmlc.WithAutoTune(b))
+	c, err := cimmlc.New(a, cimmlc.WithCache(0), cimmlc.WithAutoTune(b), cimmlc.WithVerifyIR())
 	if err != nil {
 		return Digest{}, "", err
 	}

@@ -14,6 +14,7 @@ import (
 	"cimmlc/internal/cg"
 	"cimmlc/internal/cost"
 	"cimmlc/internal/graph"
+	"cimmlc/internal/irverify"
 	"cimmlc/internal/mapping"
 	"cimmlc/internal/perfsim"
 	"cimmlc/internal/sched"
@@ -38,6 +39,12 @@ type Options struct {
 	// Tune, when non-nil, runs the schedule autotuner after the level
 	// optimizers under the given search budget (see internal/tuner).
 	Tune *tuner.Budget
+	// VerifyIR runs the static IR verifier (internal/irverify) on the
+	// input graph and after every pipeline pass: graph well-formedness,
+	// schedule legality against the computing-mode level, and mapping
+	// soundness become errors at the stage that broke them instead of
+	// wrong numbers downstream.
+	VerifyIR bool
 }
 
 // Result bundles everything the compiler produced.
@@ -78,6 +85,13 @@ func CompileCtx(ctx context.Context, g *graph.Graph, a *arch.Arch, opt Options) 
 func CompilePasses(ctx context.Context, g *graph.Graph, a *arch.Arch, opt Options, passes []Pass, trace func(TraceEvent)) (*Result, error) {
 	if err := a.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
+	}
+	if opt.VerifyIR {
+		// VerifyGraph subsumes shape inference, so a malformed input graph
+		// is reported with rule-named diagnostics before any pass runs.
+		if vs := irverify.VerifyGraph(g); len(vs) > 0 {
+			return nil, fmt.Errorf("core: %w", &irverify.Error{Stage: "input", Violations: vs})
+		}
 	}
 	if err := g.InferShapes(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)

@@ -9,6 +9,7 @@ import (
 	"cimmlc/internal/cg"
 	"cimmlc/internal/cost"
 	"cimmlc/internal/graph"
+	"cimmlc/internal/irverify"
 	"cimmlc/internal/mapping"
 	"cimmlc/internal/mvm"
 	"cimmlc/internal/perfsim"
@@ -152,6 +153,15 @@ func RunPasses(ctx context.Context, passes []Pass, pc *PassContext, trace func(T
 		start := time.Now()
 		if err := p.Run(ctx, pc); err != nil {
 			return fmt.Errorf("core: %s: %w", p.Name(), err)
+		}
+		if pc.Opt.VerifyIR {
+			// The pass sandwich: whatever state exists after each stage —
+			// graph, schedule, placement — must satisfy the IR invariants,
+			// so a pass that emits an illegal intermediate fails here with
+			// the stage name instead of corrupting downstream passes.
+			if vs := irverify.CheckState(pc.Graph, pc.Arch, pc.Level, pc.Model.FPs, pc.Schedule, pc.Placement); len(vs) > 0 {
+				return fmt.Errorf("core: %s: %w", p.Name(), &irverify.Error{Stage: p.Name(), Violations: vs})
+			}
 		}
 		if trace != nil {
 			trace(TraceEvent{Pass: p.Name(), Duration: time.Since(start)})

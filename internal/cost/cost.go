@@ -253,17 +253,13 @@ func (m *Model) firstFrac(node int) float64 {
 	}
 }
 
+// ceilDiv rounds up; divisors come from arch fields already checked
+// positive by arch.Validate.
 func ceilDiv(a, b int) int {
-	if b <= 0 {
-		panic("cost: ceilDiv by non-positive divisor")
-	}
 	return (a + b - 1) / b
 }
 
 func ceilDiv64(a, b int64) int64 {
-	if b <= 0 {
-		panic("cost: ceilDiv64 by non-positive divisor")
-	}
 	return (a + b - 1) / b
 }
 

@@ -161,7 +161,10 @@ func NewImage(g *graph.Graph, a *arch.Arch, lay *codegen.Layout, weights graph.W
 		q := tensor.CalibrateQuant(ref[n.ID], a.ActBits)
 		img.actScale[n.ID] = q
 	}
-	for id, w := range weights {
+	// Sorted so that when several weights are invalid, the reported error is
+	// always the lowest node ID's, not whichever the map yields first.
+	for _, id := range sortedTensorKeys(weights) {
+		w := weights[id]
 		mat, err := weightMatrix(g.MustNode(id), w)
 		if err != nil {
 			return nil, err
@@ -181,7 +184,7 @@ func NewImage(g *graph.Graph, a *arch.Arch, lay *codegen.Layout, weights graph.W
 	for i := range img.base {
 		img.base[i] = -1
 	}
-	for id := range lay.Base {
+	for _, id := range sortedInt64Keys(lay.Base) {
 		img.regionBases = append(img.regionBases, lay.Base[id])
 		img.regionNodes = append(img.regionNodes, id)
 		if id >= 0 && id < len(img.base) {
@@ -295,7 +298,8 @@ func (img *Image) cacheWeights() {
 // LoadInputs quantizes each input tensor with the image's calibrated scale
 // and writes it into the node's region.
 func (m *Machine) LoadInputs(inputs map[int]*tensor.Tensor) error {
-	for id, t := range inputs {
+	for _, id := range sortedTensorKeys(inputs) {
+		t := inputs[id]
 		q, ok := m.img.actScale[id]
 		if !ok {
 			return fmt.Errorf("funcsim: input for unknown node %d", id)
@@ -474,4 +478,25 @@ func (m *Machine) RawRegion(node int) []int64 {
 	out := make([]int64, size)
 	copy(out, m.st.mem[base:base+size])
 	return out
+}
+
+// sortedTensorKeys returns the map's node IDs in ascending order so walks
+// over user-supplied tensor maps behave identically run to run.
+func sortedTensorKeys(m map[int]*tensor.Tensor) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// sortedInt64Keys is sortedTensorKeys for the layout's address maps.
+func sortedInt64Keys(m map[int]int64) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
 }

@@ -1,5 +1,7 @@
 package graph
 
+import "fmt"
+
 // Builder provides a fluent chain-style constructor for common sequential
 // network fragments; the model zoo (internal/models) uses it to keep network
 // definitions close to the papers' tables. All methods return the builder so
@@ -8,6 +10,9 @@ type Builder struct {
 	G    *Graph
 	Last int
 	seq  map[string]int
+	// err latches the first shape-inference failure hit while chaining;
+	// Finish reports it instead of panicking mid-chain.
+	err error
 }
 
 // NewBuilder starts a builder over a fresh graph with a single input node.
@@ -39,6 +44,9 @@ func itoa(n int) string {
 // Conv appends a convolution taking the previous node's output.
 func (b *Builder) Conv(outC, k, stride, pad int) *Builder {
 	inC := b.currentChannels()
+	if b.err != nil {
+		return b
+	}
 	b.Last = b.G.AddNode(b.autoName("conv"), OpConv, []int{b.Last},
 		Attr{KernelH: k, KernelW: k, Stride: stride, Padding: pad},
 		[]int{outC, inC, k, k})
@@ -46,11 +54,12 @@ func (b *Builder) Conv(outC, k, stride, pad int) *Builder {
 }
 
 // currentChannels infers the channel count of the last node by running shape
-// inference incrementally; builders always construct valid prefixes so this
-// cannot fail on correct use.
+// inference incrementally. A failure latches into b.err (reported by Finish)
+// and yields a placeholder so the chain stays panic-free.
 func (b *Builder) currentChannels() int {
 	if err := b.G.InferShapes(); err != nil {
-		panic("graph: builder produced invalid prefix: " + err.Error())
+		b.fail(err)
+		return 1
 	}
 	s := b.G.Nodes[b.Last].OutShape
 	if len(s) == 3 {
@@ -59,10 +68,22 @@ func (b *Builder) currentChannels() int {
 	return s[len(s)-1]
 }
 
-// CurrentShape returns the inferred output shape of the last node.
+// fail latches the first chaining error for Finish to report.
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = fmt.Errorf("graph: builder produced invalid prefix: %w", err)
+	}
+}
+
+// Err returns the first error latched while chaining, or nil.
+func (b *Builder) Err() error { return b.err }
+
+// CurrentShape returns the inferred output shape of the last node, or nil if
+// the chain so far is invalid (the error is latched for Finish).
 func (b *Builder) CurrentShape() []int {
 	if err := b.G.InferShapes(); err != nil {
-		panic("graph: builder produced invalid prefix: " + err.Error())
+		b.fail(err)
+		return nil
 	}
 	return cloneShape(b.G.Nodes[b.Last].OutShape)
 }
@@ -108,6 +129,9 @@ func (b *Builder) Flatten() *Builder {
 // Dense appends a fully connected layer with out features.
 func (b *Builder) Dense(out int) *Builder {
 	shape := b.CurrentShape()
+	if b.err != nil || len(shape) == 0 {
+		return b
+	}
 	in := shape[len(shape)-1]
 	b.Last = b.G.AddNode(b.autoName("fc"), OpDense, []int{b.Last}, Attr{}, []int{in, out})
 	return b
@@ -144,8 +168,13 @@ func (b *Builder) MatMulWith(other int) *Builder {
 	return b
 }
 
-// Finish validates, infers shapes and returns the graph.
+// Finish validates, infers shapes and returns the graph. An error latched
+// mid-chain (an invalid prefix) takes precedence, so the failure is reported
+// at the step that introduced it.
 func (b *Builder) Finish() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
 	if err := b.G.InferShapes(); err != nil {
 		return nil, err
 	}

@@ -129,10 +129,9 @@ func (f Footprint) TileCellCols(tileC int) int {
 	return f.UsableCols
 }
 
+// ceilDiv rounds up; divisors come from arch fields already checked
+// positive by arch.Validate.
 func ceilDiv(a, b int) int {
-	if b <= 0 {
-		panic("mapping: ceilDiv by non-positive divisor")
-	}
 	return (a + b - 1) / b
 }
 

@@ -104,11 +104,9 @@ func BitSlice(v int32, bits, cellBits int) []uint32 {
 	return out
 }
 
-// SliceCount returns ceil(bits/cellBits).
+// SliceCount returns ceil(bits/cellBits). cellBits comes from device
+// profiles already checked positive by arch.Validate.
 func SliceCount(bits, cellBits int) int {
-	if cellBits <= 0 {
-		panic("tensor: cellBits must be positive")
-	}
 	return (bits + cellBits - 1) / cellBits
 }
 

@@ -25,6 +25,8 @@ type Tensor struct {
 
 // New returns a zero tensor with the given shape. It panics if any dimension
 // is negative; a zero-dimensional tensor holds a single scalar.
+//
+//cimlint:ignore libpanic -- mirrors the built-in make([]T, n) contract
 func New(shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
@@ -114,6 +116,10 @@ func (t *Tensor) Set(v float32, idx ...int) {
 	t.data[t.offset(idx)] = v
 }
 
+// offset flattens a multi-index, panicking on rank or bounds violations —
+// the same contract as built-in slice indexing, which At/Set mirror.
+//
+//cimlint:ignore libpanic -- index contract mirrors built-in slice indexing
 func (t *Tensor) offset(idx []int) int {
 	if len(idx) != len(t.shape) {
 		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.shape)))

@@ -1,0 +1,248 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// check typechecks one inline file as the given import path and returns the
+// finding messages.
+func check(t *testing.T, importPath, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(importPath, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	fs, err := Run(fset, []*ast.File{f}, pkg, info, importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func names(fs []Finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.Analyzer)
+	}
+	return out
+}
+
+const detPkg = "cimmlc/internal/sched"
+
+func TestMapRangeFlagsBareIteration(t *testing.T) {
+	fs := check(t, detPkg, `package sched
+func f(m map[int]int) []int {
+	var out []int
+	for k, v := range m {
+		out = append(out, k*v)
+	}
+	return out
+}
+`)
+	if len(fs) != 1 || fs[0].Analyzer != "maprange" {
+		t.Fatalf("findings = %v, want one maprange", fs)
+	}
+}
+
+func TestMapRangeAllowsSanctionedShapes(t *testing.T) {
+	fs := check(t, detPkg, `package sched
+func collect(m map[int]int) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+func clone(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+func total(m map[int]struct{ N int }) int {
+	sum := 0
+	for _, v := range m {
+		sum += v.N
+	}
+	return sum
+}
+func count(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("sanctioned shapes flagged: %v", fs)
+	}
+}
+
+func TestMapRangeFlagsFloatAccumulation(t *testing.T) {
+	fs := check(t, detPkg, `package sched
+func total(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+`)
+	if len(fs) != 1 || fs[0].Analyzer != "maprange" {
+		t.Fatalf("float accumulation not flagged: %v", fs)
+	}
+}
+
+func TestMapRangeIgnoresOtherPackages(t *testing.T) {
+	fs := check(t, "cimmlc/internal/arch", `package arch
+func f(m map[int]int) int {
+	for k := range m {
+		return k
+	}
+	return 0
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("non-deterministic package flagged: %v", fs)
+	}
+}
+
+func TestNonDetFlagsClockAndRand(t *testing.T) {
+	fs := check(t, detPkg, `package sched
+import (
+	"math/rand"
+	"time"
+)
+func f() int64 {
+	return time.Now().UnixNano() + int64(rand.Int())
+}
+`)
+	got := names(fs)
+	want := map[string]int{"nondet": 0}
+	for _, n := range got {
+		want[n]++
+	}
+	if want["nondet"] != 2 || len(fs) != 2 {
+		t.Fatalf("findings = %v, want nondet on the import and on time.Now", fs)
+	}
+}
+
+func TestNonDetAllowsPureTimeArithmetic(t *testing.T) {
+	fs := check(t, detPkg, `package sched
+import "time"
+func f(cycles int64) time.Duration {
+	return time.Duration(cycles) * time.Nanosecond
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("pure time arithmetic flagged: %v", fs)
+	}
+}
+
+func TestLibPanicFlagsAndExempts(t *testing.T) {
+	fs := check(t, "cimmlc/internal/graph", `package graph
+import "errors"
+func Bad(ok bool) {
+	if !ok {
+		panic("bad")
+	}
+}
+func MustGood() {
+	panic(errors.New("sanctioned"))
+}
+`)
+	if len(fs) != 1 || fs[0].Analyzer != "libpanic" {
+		t.Fatalf("findings = %v, want one libpanic on Bad only", fs)
+	}
+	if !strings.Contains(fs[0].Message, "panic in library code") {
+		t.Fatalf("unexpected message %q", fs[0].Message)
+	}
+}
+
+func TestLibPanicSkipsCommands(t *testing.T) {
+	fs := check(t, "cimmlc/cmd/cimmlc", `package main
+func run(ok bool) {
+	if !ok {
+		panic("cli may abort")
+	}
+}
+func main() {}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("cmd package flagged: %v", fs)
+	}
+}
+
+func TestIgnoreCommentSuppresses(t *testing.T) {
+	fs := check(t, "cimmlc/internal/tensor", `package tensor
+//cimlint:ignore libpanic -- index contract mirrors slice indexing
+func At(ok bool) {
+	if !ok {
+		panic("out of range")
+	}
+}
+func Other(ok bool) {
+	if !ok {
+		panic("not suppressed")
+	}
+}
+`)
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want only the unsuppressed panic", fs)
+	}
+	if fs[0].Posn.Line != 10 {
+		t.Fatalf("finding at line %d, want 10 (Other's panic)", fs[0].Posn.Line)
+	}
+}
+
+func TestTestFilesSkipped(t *testing.T) {
+	fset := token.NewFileSet()
+	src := `package sched
+func f(m map[int]int) int {
+	for k := range m {
+		return k
+	}
+	return 0
+}
+`
+	f, err := parser.ParseFile(fset, "x_test.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{}
+	pkg, err := conf.Check(detPkg, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Run(fset, []*ast.File{f}, pkg, info, detPkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("_test.go file flagged: %v", fs)
+	}
+}

@@ -1,0 +1,56 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// LibPanic flags panic calls in library code. The repo convention (PR 3) is
+// that fallible operations return wrapped errors listing what was available;
+// a panic in a library path turns a recoverable misuse into a process
+// abort, which the serving gateway in particular cannot afford. Exemptions:
+//
+//   - cmd/ binaries (a CLI may abort);
+//   - functions named Must* — the sanctioned panicking wrappers over an
+//     error-returning twin, used for static tables covered by tests;
+//   - sites carrying //cimlint:ignore libpanic -- <why>, reserved for
+//     contracts that mirror built-in behavior (e.g. tensor index bounds,
+//     which mirror slice indexing).
+var LibPanic = &Analyzer{
+	Name: "libpanic",
+	Doc:  "panic in library (non-cmd) code",
+	Run:  runLibPanic,
+}
+
+func runLibPanic(p *Pass) error {
+	if strings.HasPrefix(p.ImportPath, "cimmlc/cmd/") || (p.Pkg != nil && p.Pkg.Name() == "main") {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasPrefix(fd.Name.Name, "Must") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := call.Fun.(*ast.Ident)
+				if !ok || !isBuiltin(p.Info, fn, "panic") {
+					return true
+				}
+				p.Report(Diagnostic{
+					Pos:     call.Pos(),
+					Message: "panic in library code; return a wrapped error instead (or rename the helper Must*)",
+				})
+				return true
+			})
+		}
+	}
+	return nil
+}

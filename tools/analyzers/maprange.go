@@ -1,0 +1,127 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRange flags bare `range` over a map in the deterministic compiler
+// packages. Go randomizes map iteration order per run, so any map walk whose
+// body observes order makes compilation output irreproducible. The sanctioned
+// pattern is collecting the keys into a slice and sorting it first.
+//
+// Three loop shapes are provably order-insensitive and allowed:
+//
+//   - the collect idiom feeding that sorted walk:  ks = append(ks, k)
+//   - a copy keyed by the range key:               dst[k] = v
+//   - an integer accumulation:                     n += v.Field  /  n++
+//
+// (float accumulation stays flagged: float addition is not associative, so
+// the sum depends on visit order.)
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "bare range over a map in a deterministic package",
+	Run:  runMapRange,
+}
+
+func runMapRange(p *Pass) error {
+	if !deterministicPkgs[p.ImportPath] {
+		return nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitiveBody(p, rs) {
+				return true
+			}
+			p.Report(Diagnostic{
+				Pos:     rs.For,
+				Message: "range over map without sorted keys in a deterministic package; iterate sorted keys (or //cimlint:ignore maprange -- why order cannot matter)",
+			})
+			return true
+		})
+	}
+	return nil
+}
+
+// orderInsensitiveBody reports whether the loop body is one of the allowed
+// order-insensitive shapes. It is deliberately conservative: a single
+// statement of a recognized form, nothing more.
+func orderInsensitiveBody(p *Pass, rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	switch st := rs.Body.List[0].(type) {
+	case *ast.IncDecStmt:
+		// n++ / n-- counting entries.
+		return true
+	case *ast.AssignStmt:
+		if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+			return false
+		}
+		switch st.Tok {
+		case token.ASSIGN:
+			// Collect idiom: ks = append(ks, k) — appending the bare key or
+			// value for a sort that follows. Appending a computed expression
+			// stays flagged: that shape bakes iteration order into the slice.
+			if call, ok := st.Rhs[0].(*ast.CallExpr); ok {
+				if fn, ok := call.Fun.(*ast.Ident); ok && isBuiltin(p.Info, fn, "append") {
+					if lhs, ok := st.Lhs[0].(*ast.Ident); ok && len(call.Args) == 2 {
+						arg0, ok0 := call.Args[0].(*ast.Ident)
+						arg1, ok1 := call.Args[1].(*ast.Ident)
+						if ok0 && ok1 && sameObject(p.Info, lhs, arg0) && isRangeVar(p, rs, arg1) {
+							return true
+						}
+					}
+				}
+			}
+			// Copy idiom: dst[k] = ... with k the range key — every
+			// iteration writes a distinct slot, so order is irrelevant.
+			if ix, ok := st.Lhs[0].(*ast.IndexExpr); ok {
+				if key, ok := rs.Key.(*ast.Ident); ok && key.Name != "_" {
+					if idx, ok := ix.Index.(*ast.Ident); ok && sameObject(p.Info, key, idx) {
+						return true
+					}
+				}
+			}
+		case token.ADD_ASSIGN:
+			// Integer accumulation: addition over int is associative and
+			// commutative, so the visit order cannot leak into the result.
+			if t := p.Info.TypeOf(st.Lhs[0]); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isRangeVar reports whether id denotes the loop's key or value variable.
+func isRangeVar(p *Pass, rs *ast.RangeStmt, id *ast.Ident) bool {
+	if k, ok := rs.Key.(*ast.Ident); ok && k.Name != "_" && sameObject(p.Info, k, id) {
+		return true
+	}
+	if v, ok := rs.Value.(*ast.Ident); ok && v.Name != "_" && sameObject(p.Info, v, id) {
+		return true
+	}
+	return false
+}
+
+// sameObject reports whether two identifiers denote the same variable.
+func sameObject(info *types.Info, a, b *ast.Ident) bool {
+	oa := info.ObjectOf(a)
+	ob := info.ObjectOf(b)
+	return oa != nil && oa == ob
+}

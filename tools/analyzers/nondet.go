@@ -1,0 +1,72 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// NonDet flags wall-clock and pseudo-random sources inside the deterministic
+// compiler packages. A pass must be a pure function of (graph, arch,
+// options): time.Now-based decisions make schedules irreproducible, and
+// math/rand without a fixed seed does the same (and with a fixed seed it is
+// still hidden global state — thread randomness through Options instead).
+var NonDet = &Analyzer{
+	Name: "nondet",
+	Doc:  "wall-clock or math/rand use in a deterministic package",
+	Run:  runNonDet,
+}
+
+// nondetTimeFuncs are the time package entry points that read the wall
+// clock; pure constructors like time.Duration arithmetic remain allowed.
+var nondetTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"AfterFunc": true,
+}
+
+func runNonDet(p *Pass) error {
+	if !deterministicPkgs[p.ImportPath] {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Report(Diagnostic{
+					Pos:     imp.Pos(),
+					Message: "import of " + path + " in a deterministic package; thread randomness through Options if a pass truly needs it",
+				})
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn := pkgNameOf(p.Info, id)
+			if pn == nil || pn.Imported().Path() != "time" {
+				return true
+			}
+			if nondetTimeFuncs[sel.Sel.Name] {
+				p.Report(Diagnostic{
+					Pos:     sel.Pos(),
+					Message: "time." + sel.Sel.Name + " in a deterministic package; compiler passes must not read the wall clock",
+				})
+			}
+			return true
+		})
+	}
+	return nil
+}
