@@ -1,0 +1,61 @@
+package cimmlc
+
+import (
+	"context"
+	"fmt"
+
+	"cimmlc/internal/codegen"
+	"cimmlc/internal/flowdata"
+	"cimmlc/internal/flowopt"
+)
+
+// FlowReport is the static resource report of one compiled flow: MOP counts
+// by class and mnemonic, transfer volume, layout and scratch footprint, and
+// the liveness-derived peaks (live scratch words, live regions, live
+// crossbars) plus the live-range pressure histogram. Serializes as stable
+// JSON — the `cimmlc analyze` golden format.
+type FlowReport = flowdata.Report
+
+// FlowOptStats records what WithFlowOpt's rewrite changed; it is the Opt
+// field of an optimized FlowResult.
+type FlowOptStats = codegen.OptStats
+
+// Analyze lowers a compilation result (honoring WithFlowOpt, like Lower)
+// and runs the flow-IR dataflow analysis over the generated flow, returning
+// the static resource report. A non-zero MaxWindowsPerOp yields a
+// counts-only report (truncated flows are illustrative, not executable, so
+// liveness facts would be meaningless). Like Lower, it works on a private
+// copy of g.
+func (c *Compiler) Analyze(ctx context.Context, g *Graph, res *Result, opt CodegenOptions) (*FlowReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil || res == nil {
+		return nil, fmt.Errorf("cimmlc: Analyze: nil graph or result")
+	}
+	gc, err := cloneGraph(g)
+	if err != nil {
+		return nil, fmt.Errorf("cimmlc: Analyze: %w", err)
+	}
+	a := c.arch
+	fr, err := codegen.Generate(gc, &a, res.Schedule, res.Placement, res.Model, opt)
+	if err != nil {
+		return nil, err
+	}
+	if c.opt.FlowOpt {
+		fr, err = flowopt.Optimize(gc, &a, res.Schedule, res.Model.FPs, fr)
+		if err != nil {
+			return nil, fmt.Errorf("cimmlc: Analyze: %w", err)
+		}
+	}
+	an := flowdata.Build(gc, &a, res.Schedule, res.Model.FPs, fr)
+	level := string(c.opt.MaxLevel)
+	if level == "" {
+		level = string(c.arch.Mode)
+	}
+	rep := flowdata.NewReport(g.Name, c.arch.Name, level, fr, an)
+	return &rep, nil
+}

@@ -18,10 +18,14 @@
 //	cimmlc vet lenet5 puma
 //	cimmlc vet -zoo
 //	cimmlc vet -selftest
+//	cimmlc analyze -model mlp -arch puma -json
+//	cimmlc analyze -zoo -golden testdata/analyze_golden.json
 //
 // The vet subcommand compiles with the static IR verifier (internal/
 // irverify) forced on and reports rule-named diagnostics; -selftest proves
-// the rules still reject the seeded-corruption fixtures in this build.
+// the rules still reject the seeded-corruption fixtures in this build. The
+// analyze subcommand emits the static dataflow resource report (see
+// internal/flowdata) per cell, with a golden diff/update flow for CI.
 package main
 
 import (
@@ -51,7 +55,16 @@ func main() {
 		runVet(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "analyze" {
+		runAnalyze(os.Args[2:])
+		return
+	}
 	compileMain()
+}
+
+// signalContext is the CLI-wide interruptible context.
+func signalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt)
 }
 
 func compileMain() {

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"cimmlc"
+)
+
+// TestSweepZooVisitsEveryCellPastFailures pins the fix for the silent
+// mid-sweep abort: a failing cell (including one whose model does not load)
+// must not stop the sweep, and the summary must list every cell with its
+// outcome and count the failures.
+func TestSweepZooVisitsEveryCellPastFailures(t *testing.T) {
+	cells := []zooCell{
+		{Model: "a", Arch: "x", Level: cimmlc.CM},
+		{Model: "b", Arch: "x", Level: cimmlc.CM},
+		{Model: "c", Arch: "x", Level: cimmlc.CM},
+	}
+	var visited []string
+	outcomes := sweepZoo(io.Discard, cells, func(c zooCell) error {
+		visited = append(visited, c.Model)
+		if c.Model == "b" {
+			return errors.New("boom\nwith detail")
+		}
+		return nil
+	})
+	if got := strings.Join(visited, ","); got != "a,b,c" {
+		t.Fatalf("sweep visited %q, want every cell in order", got)
+	}
+	if len(outcomes) != 3 || outcomes[1].Err == nil || outcomes[0].Err != nil || outcomes[2].Err != nil {
+		t.Fatalf("outcomes = %+v, want only the middle cell failed", outcomes)
+	}
+
+	var sum bytes.Buffer
+	if bad := summarizeSweep(&sum, "test sweep", outcomes); bad != 1 {
+		t.Fatalf("summarizeSweep = %d failures, want 1", bad)
+	}
+	out := sum.String()
+	for _, needle := range []string{"1 of 3 cells failed", "a|x|CM", "b|x|CM", "c|x|CM", "FAIL: boom ..."} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("summary %q should contain %q", out, needle)
+		}
+	}
+	if strings.Contains(out, "with detail") {
+		t.Errorf("summary %q should truncate multi-line errors to one row", out)
+	}
+}
+
+// TestVetZooCellLoadFailureIsPerCell proves an unloadable model or arch
+// becomes that cell's outcome (so the sweep reports it and moves on) rather
+// than an early exit, and that healthy cells still verify.
+func TestVetZooCellLoadFailureIsPerCell(t *testing.T) {
+	cells := []zooCell{
+		{Model: "no-such-model", Arch: "toy-table2", Level: cimmlc.XBM},
+		{Model: "conv-relu", Arch: "no-such-arch", Level: cimmlc.XBM},
+		{Model: "conv-relu", Arch: "toy-table2", Level: cimmlc.XBM},
+	}
+	outcomes := sweepZoo(io.Discard, cells, vetZooCell)
+	if len(outcomes) != 3 {
+		t.Fatalf("sweep stopped early: %d outcomes, want 3", len(outcomes))
+	}
+	if outcomes[0].Err == nil || outcomes[1].Err == nil {
+		t.Fatalf("load failures not recorded: %+v", outcomes[:2])
+	}
+	if outcomes[2].Err != nil {
+		t.Fatalf("healthy cell failed: %v", outcomes[2].Err)
+	}
+}
+
+// TestSummarizeSweepAllOK keeps the happy path quiet: one line, zero exit.
+func TestSummarizeSweepAllOK(t *testing.T) {
+	var sum bytes.Buffer
+	outcomes := []sweepOutcome{{Cell: zooCell{Model: "m", Arch: "a", Level: cimmlc.CM}}}
+	if bad := summarizeSweep(&sum, "test sweep", outcomes); bad != 0 {
+		t.Fatalf("summarizeSweep = %d, want 0", bad)
+	}
+	if got := sum.String(); got != "test sweep: all 1 cells ok\n" {
+		t.Fatalf("summary = %q", got)
+	}
+}
+
+// TestShortZooCellsPolicy pins the sweep matrix shape: 45 cells, exec models
+// uncapped, large models window-capped so the sweep (and the analyze golden)
+// stays fast.
+func TestShortZooCellsPolicy(t *testing.T) {
+	cells := shortZooCells()
+	if len(cells) != 45 {
+		t.Fatalf("short zoo has %d cells, want 45", len(cells))
+	}
+	caps := map[string]int64{}
+	for _, c := range cells {
+		caps[c.Model] = c.WinCap
+	}
+	for _, m := range []string{"conv-relu", "mlp", "lenet5"} {
+		if caps[m] != 0 {
+			t.Errorf("exec model %s capped at %d windows, want full emission", m, caps[m])
+		}
+	}
+	for _, m := range []string{"vgg7", "vit-tiny"} {
+		if caps[m] == 0 {
+			t.Errorf("large model %s uncapped; the sweep would take minutes", m)
+		}
+	}
+}

@@ -7,7 +7,6 @@ import (
 	"os"
 
 	"cimmlc"
-	"cimmlc/internal/conformance"
 	"cimmlc/internal/irverify"
 )
 
@@ -93,45 +92,30 @@ func vetCell(g *cimmlc.Graph, a *cimmlc.Arch, level cimmlc.Mode, maxWindows int6
 }
 
 // vetZoo sweeps the short conformance matrix. The cheap exec models lower
-// their full flows; the rest cap window emission so the sweep stays fast.
+// their full flows; the rest cap window emission so the sweep stays fast. A
+// failing cell — including one whose model or arch does not load — never
+// aborts the sweep: every cell is visited and the summary table reports all
+// of them.
 func vetZoo() int {
-	cfg := conformance.ShortConfig()
-	full := map[string]bool{}
-	for _, m := range cfg.ExecModels {
-		full[m] = true
-	}
-	bad := 0
-	for _, model := range cfg.Models {
-		g, err := cimmlc.Model(model)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		for _, archName := range cfg.Archs {
-			a, err := cimmlc.Preset(archName)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return 1
-			}
-			for _, level := range cfg.Levels {
-				var winCap int64 = 2
-				if full[model] {
-					winCap = 0
-				}
-				if err := vetCell(g, a, level, winCap); err != nil {
-					fmt.Fprintf(os.Stderr, "FAIL %s × %s @ %s:\n%v\n", model, archName, level, err)
-					bad++
-					continue
-				}
-				fmt.Printf("ok   %s × %s @ %s\n", model, archName, level)
-			}
-		}
-	}
-	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "cimmlc vet: %d cell(s) failed\n", bad)
+	outcomes := sweepZoo(os.Stdout, shortZooCells(), vetZooCell)
+	if bad := summarizeSweep(os.Stderr, "cimmlc vet -zoo", outcomes); bad > 0 {
 		return 1
 	}
 	return 0
+}
+
+// vetZooCell loads and verifies one cell; load failures are per-cell
+// outcomes, not sweep aborts.
+func vetZooCell(cell zooCell) error {
+	g, err := cimmlc.Model(cell.Model)
+	if err != nil {
+		return err
+	}
+	a, err := cimmlc.Preset(cell.Arch)
+	if err != nil {
+		return err
+	}
+	return vetCell(g, a, cell.Level, cell.WinCap)
 }
 
 // vetSelftest runs every seeded corruption through the verifier; each must

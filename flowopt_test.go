@@ -1,0 +1,231 @@
+package cimmlc_test
+
+import (
+	"context"
+	"flag"
+	"path/filepath"
+	"testing"
+
+	"cimmlc"
+	"cimmlc/internal/flowdata"
+)
+
+var updateAnalyze = flag.Bool("update", false, "rewrite testdata/analyze_golden.json with this run's reports")
+
+const analyzeGoldenPath = "testdata/analyze_golden.json"
+
+// execMatrix spans the cells cheap enough to run the functional simulator
+// on: the conformance exec models across the three presets.
+var (
+	execModels = []string{"conv-relu", "mlp", "lenet5"}
+	execArchs  = []string{"isaac-baseline", "puma", "toy-table2"}
+	allLevels  = []cimmlc.Mode{cimmlc.CM, cimmlc.XBM, cimmlc.WLM}
+)
+
+// buildCellPrograms compiles one cell twice — without and with WithFlowOpt —
+// against the same weights and calibration, returning both programs and the
+// seeded inputs.
+func buildCellPrograms(t testing.TB, ctx context.Context, model, archName string, level cimmlc.Mode, seed uint64) (base, opt *cimmlc.Program, in map[int]*cimmlc.Tensor) {
+	t.Helper()
+	g, err := cimmlc.Model(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := cimmlc.Preset(archName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []cimmlc.Option{cimmlc.WithCache(0), cimmlc.WithVerifyIR(), cimmlc.WithMaxLevel(level)}
+	cb, err := cimmlc.New(a, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := cimmlc.New(a, append(opts, cimmlc.WithFlowOpt())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := cimmlc.RandomWeights(g, seed)
+	in = map[int]*cimmlc.Tensor{}
+	for _, id := range g.InputIDs() {
+		tt := cimmlc.NewTensor(g.MustNode(id).OutShape...)
+		tt.Rand(seed+uint64(id), 1)
+		in[id] = tt
+	}
+	base, err = cb.Build(ctx, g, w, cimmlc.CodegenOptions{}, cimmlc.WithCalibration(in))
+	if err != nil {
+		t.Fatalf("%s/%s/%s base build: %v", model, archName, level, err)
+	}
+	opt, err = co.Build(ctx, g, w, cimmlc.CodegenOptions{}, cimmlc.WithCalibration(in))
+	if err != nil {
+		t.Fatalf("%s/%s/%s flowopt build: %v", model, archName, level, err)
+	}
+	return base, opt, in
+}
+
+// diffOutputs compares two output maps bit-for-bit; "" means identical.
+func diffOutputs(got, want map[int]*cimmlc.Tensor) string {
+	if len(got) != len(want) {
+		return "output count differs"
+	}
+	for id, wt := range want {
+		gt := got[id]
+		if gt == nil {
+			return "missing output"
+		}
+		gd, wd := gt.Data(), wt.Data()
+		if len(gd) != len(wd) {
+			return "output length differs"
+		}
+		for i := range gd {
+			if gd[i] != wd[i] {
+				return "output bits differ"
+			}
+		}
+	}
+	return ""
+}
+
+// TestFlowOptBitIdentityAndReduction runs every executable short-zoo cell
+// with and without the dataflow optimizer: outputs must match bit-for-bit
+// everywhere, every optimized build must carry OptStats, and across the
+// matrix the rewrite must strictly shrink the MOP count or the buffer
+// footprint on at least five cells (the acceptance floor; conformance
+// family 1 enforces the same bound with its own battery).
+func TestFlowOptBitIdentityAndReduction(t *testing.T) {
+	ctx := context.Background()
+	reduced := 0
+	for _, mn := range execModels {
+		for _, an := range execArchs {
+			for _, lv := range allLevels {
+				base, opt, in := buildCellPrograms(t, ctx, mn, an, lv, 7)
+				ob, err := base.Run(ctx, in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				oo, err := opt.Run(ctx, in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := diffOutputs(oo, ob); d != "" {
+					t.Fatalf("%s/%s/%s: %s", mn, an, lv, d)
+				}
+				st := opt.Flow().Opt
+				if st == nil {
+					t.Fatalf("%s/%s/%s: optimized build carries no OptStats", mn, an, lv)
+				}
+				if st.Reduced() {
+					reduced++
+				}
+			}
+		}
+	}
+	t.Logf("flowopt reduced %d/27 cells", reduced)
+	if reduced < 5 {
+		t.Fatalf("flowopt reduced only %d cells, want >= 5", reduced)
+	}
+}
+
+// TestAnalyzeGolden sweeps Compiler.Analyze over the short zoo (full flows
+// for the exec models, window-capped counts-only reports for the large ones)
+// and compares every report against the committed golden; -update merges
+// this run's reports into the file, mirroring the conformance golden flow.
+func TestAnalyzeGolden(t *testing.T) {
+	ctx := context.Background()
+	models := []string{"conv-relu", "mlp", "lenet5", "vgg7", "vit-tiny"}
+	full := map[string]bool{"conv-relu": true, "mlp": true, "lenet5": true}
+
+	reports := map[string]flowdata.Report{}
+	for _, mn := range models {
+		for _, an := range execArchs {
+			for _, lv := range allLevels {
+				g, err := cimmlc.Model(mn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				a, err := cimmlc.Preset(an)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c, err := cimmlc.New(a, cimmlc.WithCache(0), cimmlc.WithVerifyIR(), cimmlc.WithMaxLevel(lv))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := c.Compile(ctx, g)
+				if err != nil {
+					t.Fatalf("%s/%s/%s compile: %v", mn, an, lv, err)
+				}
+				var winCap int64 = 2
+				if full[mn] {
+					winCap = 0
+				}
+				rep, err := c.Analyze(ctx, g, res, cimmlc.CodegenOptions{MaxWindowsPerOp: winCap})
+				if err != nil {
+					t.Fatalf("%s/%s/%s analyze: %v", mn, an, lv, err)
+				}
+				if !rep.Truncated && rep.Problems > 0 {
+					t.Errorf("%s/%s/%s: analysis reports %d problems on a verified flow", mn, an, lv, rep.Problems)
+				}
+				reports[flowdata.ReportKey(mn, an, string(lv))] = *rep
+			}
+		}
+	}
+
+	path := filepath.FromSlash(analyzeGoldenPath)
+	if *updateAnalyze {
+		if t.Failed() {
+			t.Fatal("refusing to -update analyze goldens from a failing sweep")
+		}
+		existing, err := flowdata.LoadReportGolden(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := flowdata.SaveReportGolden(path, flowdata.MergeReportGolden(existing, reports)); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	golden, err := flowdata.LoadReportGolden(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, rep := range reports {
+		want, ok := golden[key]
+		if !ok {
+			t.Errorf("%s: no golden entry (regenerate with `go test . -run TestAnalyzeGolden -update`)", key)
+			continue
+		}
+		for _, d := range flowdata.DiffReports(rep, want) {
+			t.Errorf("%s: golden drift: %s", key, d)
+		}
+	}
+}
+
+// FuzzFlowOpt drives random (cell, seed) points through both builds and
+// requires the optimized program to reproduce the reference output bits.
+// flowopt.Optimize re-verifies its rewrite under the strict rule tier
+// internally (a failure surfaces as a build error here), so a passing run
+// proves optimized flows stay verifier-clean AND bit-identical on the
+// functional simulator. CI runs this for 10s as a smoke.
+func FuzzFlowOpt(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(1), uint64(1))
+	f.Add(uint8(1), uint8(2), uint8(2), uint64(7))
+	f.Add(uint8(2), uint8(1), uint8(0), uint64(42))
+	f.Fuzz(func(t *testing.T, mi, ai, li uint8, seed uint64) {
+		mn := execModels[int(mi)%len(execModels)]
+		an := execArchs[int(ai)%len(execArchs)]
+		lv := allLevels[int(li)%len(allLevels)]
+		ctx := context.Background()
+		base, opt, in := buildCellPrograms(t, ctx, mn, an, lv, seed)
+		ob, err := base.Run(ctx, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oo, err := opt.Run(ctx, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := diffOutputs(oo, ob); d != "" {
+			t.Fatalf("%s/%s/%s seed %d: %s", mn, an, lv, seed, d)
+		}
+	})
+}

@@ -48,6 +48,28 @@ type Result struct {
 	Flow      *mop.Flow
 	Layout    *Layout
 	Truncated bool // true when MaxWindowsPerOp cut window loops short
+
+	// Opt is set by internal/flowopt when the flow was rewritten: what the
+	// optimizer removed and how the layout shrank. Nil for unoptimized flows.
+	Opt *OptStats
+}
+
+// OptStats summarizes one flowopt rewrite of a Result.
+type OptStats struct {
+	RemovedDead      int   `json:"removed_dead"`
+	RemovedRedundant int   `json:"removed_redundant"`
+	MOPsBefore       int   `json:"mops_before"`
+	MOPsAfter        int   `json:"mops_after"`
+	ScratchBefore    int64 `json:"scratch_before"`
+	ScratchAfter     int64 `json:"scratch_after"`
+	TotalBefore      int64 `json:"total_before"`
+	TotalAfter       int64 `json:"total_after"`
+}
+
+// Reduced reports whether the rewrite strictly shrank the flow: fewer leaf
+// MOPs or a smaller buffer space.
+func (o *OptStats) Reduced() bool {
+	return o != nil && (o.MOPsAfter < o.MOPsBefore || o.TotalAfter < o.TotalBefore)
 }
 
 // Generate lowers the compiled model. The schedule and placement must come

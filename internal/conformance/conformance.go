@@ -166,6 +166,10 @@ type CellResult struct {
 	// NoOptCycles is the unoptimized layer-serial baseline latency for the
 	// same machine, kept for the dominance check and the report.
 	NoOptCycles float64 `json:"noopt_cycles"`
+	// FlowOpt records what the WithFlowOpt rewrite changed on executed cells
+	// (reported, never golden-compared — the digest tracks the unoptimized
+	// flow).
+	FlowOpt *cimmlc.FlowOptStats `json:"flowopt,omitempty"`
 }
 
 // Result is the full matrix outcome. Violations collects every failed
@@ -243,6 +247,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	checkCrossCell(results, cfg, violations)
+	checkFlowOptReduction(results, violations)
 	if cfg.ScaleCheck {
 		runScaleChecks(ctx, cfg, results, violations)
 	}
@@ -349,9 +354,10 @@ func runCell(ctx context.Context, cell Cell, cfg Config, vs *violationSet) CellR
 
 	if execCell(cell, cfg) {
 		out.ExecChecked = true
-		mops, hash, execViolations := runExecBattery(ctx, c, g, a, cell, cfg)
+		mops, hash, opt, execViolations := runExecBattery(ctx, c, g, a, cell, cfg)
 		out.Digest.MOPs = mops
 		out.Digest.OutputHash = hash
+		out.FlowOpt = opt
 		for _, v := range execViolations {
 			vs.add(v)
 		}
@@ -435,6 +441,32 @@ func checkCrossCell(results []CellResult, cfg Config, vs *violationSet) {
 				}
 			}
 		}
+	}
+}
+
+// checkFlowOptReduction asserts the dataflow optimization pass is not
+// vacuous: across the executed cells, WithFlowOpt must strictly shrink the
+// MOP count or the buffer footprint on at least five cells (or on every
+// executed cell when a targeted config runs fewer). Bit-identity per cell is
+// the exec battery's job; this is the matrix-level "it actually optimizes
+// something" floor.
+func checkFlowOptReduction(results []CellResult, vs *violationSet) {
+	exec, reduced := 0, 0
+	for _, r := range results {
+		if !r.ExecChecked || r.Err != "" {
+			continue
+		}
+		exec++
+		if r.FlowOpt.Reduced() {
+			reduced++
+		}
+	}
+	want := 5
+	if exec < want {
+		want = exec
+	}
+	if exec > 0 && reduced < want {
+		vs.addf("flowopt: only %d of %d executed cells reduced MOPs or buffer words (want >= %d)", reduced, exec, want)
 	}
 }
 

@@ -31,16 +31,18 @@ import (
 //   - HTTP POST /v1/run against the gateway with JSON tensors
 //
 // plus Program.Verify, the differential check against the quantized
-// reference executor and the float reference. It returns the flow's
-// meta-operator counts, the reference path's output hash, and any
-// violations.
-func runExecBattery(ctx context.Context, c *cimmlc.Compiler, g *cimmlc.Graph, a *cimmlc.Arch, cell Cell, cfg Config) (mops *MOPCounts, hash string, violations []string) {
+// reference executor and the float reference, and a sixth leg: the same cell
+// rebuilt with WithFlowOpt must reproduce every reference output bit-for-bit
+// (the dataflow rewrite may delete and repack, never change arithmetic). It
+// returns the flow's meta-operator counts, the reference path's output hash,
+// the flow-optimization stats, and any violations.
+func runExecBattery(ctx context.Context, c *cimmlc.Compiler, g *cimmlc.Graph, a *cimmlc.Arch, cell Cell, cfg Config) (mops *MOPCounts, hash string, opt *cimmlc.FlowOptStats, violations []string) {
 	key := cell.Key()
 	// failf records one violation and returns whatever mops/hash were
 	// computed before the failure, so an aborted battery does not also
 	// masquerade as golden drift on those fields.
-	failf := func(format string, args ...any) (*MOPCounts, string, []string) {
-		return mops, hash, append(violations, fmt.Sprintf("%s: %s", key, fmt.Sprintf(format, args...)))
+	failf := func(format string, args ...any) (*MOPCounts, string, *cimmlc.FlowOptStats, []string) {
+		return mops, hash, opt, append(violations, fmt.Sprintf("%s: %s", key, fmt.Sprintf(format, args...)))
 	}
 
 	w := cimmlc.RandomWeights(g, cfg.Seed)
@@ -70,6 +72,32 @@ func runExecBattery(ctx context.Context, c *cimmlc.Compiler, g *cimmlc.Graph, a 
 	// reference (the role the digital reference plays in Kourtis et al.).
 	if err := p.Verify(ctx, calib, 0.05); err != nil {
 		violations = append(violations, fmt.Sprintf("%s: Verify against reference executors: %v", key, err))
+	}
+
+	// Flow-optimized path: dead-MOP/redundant-transfer deletion and scratch
+	// compaction must leave every output bit untouched.
+	fc, err := cimmlc.New(a, cimmlc.WithCache(0), cimmlc.WithVerifyIR(), cimmlc.WithFlowOpt())
+	if err != nil {
+		violations = append(violations, fmt.Sprintf("%s: flowopt compiler: %v", key, err))
+	} else if fp, err := fc.Build(ctx, g, w, cimmlc.CodegenOptions{},
+		cimmlc.WithCalibration(calib), cimmlc.WithWorkers(4)); err != nil {
+		violations = append(violations, fmt.Sprintf("%s: flowopt build: %v", key, err))
+	} else {
+		opt = fp.Flow().Opt
+		if opt == nil {
+			violations = append(violations, fmt.Sprintf("%s: flow-optimized build carries no OptStats", key))
+		}
+		for i, req := range reqs {
+			out, err := fp.Run(ctx, req)
+			if err != nil {
+				violations = append(violations, fmt.Sprintf("%s: flowopt Program.Run request %d: %v", key, i, err))
+				break
+			}
+			if d := firstOutputDiff(out, base[i]); d != "" {
+				violations = append(violations, fmt.Sprintf("%s: flowopt request %d diverges from reference: %s", key, i, d))
+				break
+			}
+		}
 	}
 
 	// Deprecated one-shot path. It calibrates on its own inputs, so only
@@ -133,7 +161,7 @@ func runExecBattery(ctx context.Context, c *cimmlc.Compiler, g *cimmlc.Graph, a 
 	// calibration) under the cell's mode-overridden architecture.
 	violations = append(violations, runHTTPPath(ctx, g, a, w, calib, reqs, base, cell)...)
 
-	return mops, hash, violations
+	return mops, hash, opt, violations
 }
 
 // runHTTPPath round-trips every request through POST /v1/run and compares

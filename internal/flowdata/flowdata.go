@@ -1,0 +1,369 @@
+// Package flowdata is the dataflow-analysis framework over the lowered
+// meta-operator flow IR: the one place in the stack where crossbar
+// programming, buffer regions and gather-scratch lifetimes are all explicit.
+//
+// Build interprets a generated flow abstractly, in program order, and
+// produces an Analysis artifact with
+//
+//   - the legality problems the flow-sensitive verifier found (the flow/*
+//     rule catalog internal/irverify re-exports),
+//   - def-use chains and reaching definitions (per-word last-writer
+//     tracking, so every operand read is attributed to the instruction
+//     that produced its value),
+//   - backward liveness for scratch words and region-granular live ranges
+//     for every buffer region, giving a region-interference relation,
+//   - dead-MOP and redundant-transfer candidates (scratch writes never
+//     read; back-to-back identical transfers of unchanged data), and
+//   - static resource facts: peak live scratch words, peak live crossbar
+//     regions, transfer-word totals and a live-range pressure histogram.
+//
+// Everything is deterministic by construction: flows are straight-line
+// programs, so each dataflow problem converges in a single forward pass
+// plus a single backward pass over the instruction stream in node-ID /
+// program order — the fixpoint is the first iterate. No map is ranged
+// bare; region construction follows sorted node IDs.
+//
+// The analysis mirrors internal/funcsim's execution semantics exactly
+// (destination geometry of cim.readcore, the reprogram-reset rule of the
+// crossbar programming record, zero-initialized accumulation), so a flow
+// the analysis accepts runs on the simulator and a flow it proves facts
+// about behaves as those facts say.
+package flowdata
+
+import (
+	"fmt"
+	"sort"
+
+	"cimmlc/internal/arch"
+	"cimmlc/internal/codegen"
+	"cimmlc/internal/graph"
+	"cimmlc/internal/mapping"
+	"cimmlc/internal/mop"
+	"cimmlc/internal/sched"
+)
+
+// Rule names of the flow/* catalog. internal/irverify aliases these so the
+// stable identifiers tests and `cimmlc vet` match on live in one place.
+const (
+	RuleStructure    = "flow/structure"
+	RuleEndpoint     = "flow/endpoint"
+	RuleUnknownNode  = "flow/unknown-node"
+	RuleUseBeforeDef = "flow/use-before-def"
+	RuleUnprogrammed = "flow/unprogrammed-read"
+	RuleRegionBounds = "flow/region-bounds"
+	RuleScratchLap   = "flow/scratch-overlap"
+	RuleParallel     = "flow/parallel-conflict"
+	RuleOutputUndef  = "flow/output-undefined"
+	RuleDeadMOP      = "flow/dead-mop"
+	RuleRedundant    = "flow/redundant-transfer"
+)
+
+// MaxProblems bounds how many problems one analysis reports: a corrupted
+// flow tends to break one rule thousands of times, and the first few are
+// what diagnose it.
+const MaxProblems = 64
+
+// Problem is one rule breach found by the analysis.
+type Problem struct {
+	Rule string
+	Node int // graph node ID, or -1 when not node-specific
+	Msg  string
+}
+
+func (p Problem) String() string {
+	if p.Node >= 0 {
+		return fmt.Sprintf("%s [node %d]: %s", p.Rule, p.Node, p.Msg)
+	}
+	return fmt.Sprintf("%s: %s", p.Rule, p.Msg)
+}
+
+// Region is one contiguous slice of the flat buffer space: a node's output
+// or a CIM node's gather scratch. Node regions are always pairwise
+// disjoint; scratch regions may alias each other after liveness-based slot
+// reuse (internal/flowopt), which is legal exactly when their live ranges
+// do not overlap — the word-level owner attribution in the forward pass
+// checks that.
+type Region struct {
+	Base, Size int64
+	Node       int
+	Scratch    bool
+
+	defined int64 // words of this region defined so far (forward state)
+}
+
+func (r *Region) String() string {
+	kind := "output"
+	if r.Scratch {
+		kind = "scratch"
+	}
+	return fmt.Sprintf("node %d %s [%d,%d)", r.Node, kind, r.Base, r.Base+r.Size)
+}
+
+func (r *Region) end() int64 { return r.Base + r.Size }
+
+// Instr is one leaf operation of the flattened flow. Members of a
+// cim.parallel group share a Group id; top-level ops have Group -1.
+type Instr struct {
+	Op    mop.Op
+	Sec   string // "init" or "body"
+	Group int
+}
+
+// Interval is a closed live range over instruction indices. First == -1
+// means the region is never accessed.
+type Interval struct {
+	First, Last int
+}
+
+func (iv Interval) Live() bool { return iv.First >= 0 }
+
+// Overlaps reports whether two live ranges intersect.
+func (iv Interval) Overlaps(o Interval) bool {
+	return iv.Live() && o.Live() && iv.First <= o.Last && o.First <= iv.Last
+}
+
+// Facts records the dataflow facts of one instruction.
+type Facts struct {
+	// Defs lists the instructions whose written words this instruction's
+	// explicit operand reads consume (sorted, unique). -1 denotes memory
+	// preloaded before the flow runs (graph inputs).
+	Defs []int32
+	// RegionReads lists the regions (indices into Analysis.Regions) this
+	// instruction reads wholesale (gather sources, DCOM inputs).
+	RegionReads []int32
+}
+
+// Analysis is the queryable dataflow artifact of one flow.
+type Analysis struct {
+	// Problems is the flow-sensitive verification outcome: the flow/* rule
+	// breaches found. All other fields are meaningful only when Problems
+	// is empty and Truncated is false.
+	Problems  []Problem
+	Truncated bool
+
+	// Instrs is the flattened instruction stream in execution order: the
+	// init section, then the body, parallel groups inlined member by
+	// member (the order funcsim executes them).
+	Instrs []Instr
+	// Regions lists every buffer region, node regions and scratch, sorted
+	// by base address.
+	Regions []*Region
+
+	// Facts holds per-instruction def-use facts (parallel to Instrs).
+	Facts []Facts
+	// RegionWriters lists, per region (parallel to Regions), the
+	// instructions that wrote any of its words, in program order with
+	// consecutive duplicates collapsed.
+	RegionWriters [][]int32
+
+	// Dead marks instructions whose only effect is writing scratch words
+	// no later instruction reads; deleting them cannot change any node
+	// output. Redundant marks top-level transfers that re-move data an
+	// identical earlier transfer already moved from an unchanged source.
+	// Both are advisory in the default verification (real multi-round
+	// flows legitimately contain redundant gathers); StrictProblems and
+	// internal/flowopt consume them.
+	Dead      []bool
+	Redundant []bool
+
+	// Intervals holds region live ranges (parallel to Regions) over
+	// instruction indices, with Dead and Redundant instructions excluded.
+	// Graph-input regions start live at 0 (preloaded); graph-output
+	// regions stay live through the end of the flow.
+	Intervals []Interval
+
+	// PeakLiveScratchWords is the maximum, over the instruction timeline,
+	// of the summed sizes of simultaneously live scratch regions.
+	PeakLiveScratchWords int64
+	// PeakLiveRegions is the maximum number of simultaneously live buffer
+	// regions (node outputs and scratch).
+	PeakLiveRegions int
+	// PeakLiveCrossbars is the maximum number of crossbars holding a
+	// programming that still has reads ahead of it.
+	PeakLiveCrossbars int
+	// TransferWords totals the words moved by DMOV operators (mov and
+	// mov_window), the flow's static data-movement volume.
+	TransferWords int64
+	// Pressure is the live-range pressure histogram: Pressure[b] counts
+	// the instructions whose live-region count falls in bucket b of
+	// PressureBuckets.
+	Pressure [len(PressureBuckets)]int64
+
+	arch *arch.Arch
+	g    *graph.Graph
+}
+
+// PressureBuckets labels the live-range pressure histogram: bucket b
+// counts instructions with a live-region count in the named range.
+var PressureBuckets = [...]string{"0", "1", "2", "3-4", "5-8", "9-16", "17-32", "33+"}
+
+// pressureBucket maps a live-region count to its histogram bucket.
+func pressureBucket(n int) int {
+	switch {
+	case n <= 2:
+		return n
+	case n <= 4:
+		return 3
+	case n <= 8:
+		return 4
+	case n <= 16:
+		return 5
+	case n <= 32:
+		return 6
+	default:
+		return 7
+	}
+}
+
+// StrictProblems returns the verification problems plus one problem per
+// dead MOP (flow/dead-mop) and per redundant transfer
+// (flow/redundant-transfer). The strict tier is what internal/flowopt
+// requires of its own output, and what the seeded-corruption fixtures
+// assert; it is not the default compilation gate, because unoptimized
+// multi-round flows legitimately re-gather unchanged data.
+func (an *Analysis) StrictProblems() []Problem {
+	out := append([]Problem(nil), an.Problems...)
+	if len(an.Problems) > 0 || an.Truncated {
+		return out
+	}
+	for i, in := range an.Instrs {
+		if len(out) >= MaxProblems {
+			break
+		}
+		switch {
+		case an.Dead[i]:
+			out = append(out, Problem{RuleDeadMOP, -1, fmt.Sprintf("instr %d writes scratch no later instruction reads: %s", i, in.Op)})
+		case an.Redundant[i]:
+			out = append(out, Problem{RuleRedundant, -1, fmt.Sprintf("instr %d re-transfers unchanged data an identical earlier transfer moved: %s", i, in.Op)})
+		}
+	}
+	return out
+}
+
+// Interference returns the scratch-region interference relation: pairs of
+// node IDs whose scratch live ranges overlap, each pair (a<b) once, sorted.
+// Two scratch regions may share addresses exactly when they do NOT appear
+// here — the fact the flowopt slot-reuse compaction builds on.
+func (an *Analysis) Interference() [][2]int {
+	var out [][2]int
+	for i, a := range an.Regions {
+		if !a.Scratch || !an.Intervals[i].Live() {
+			continue
+		}
+		for j := i + 1; j < len(an.Regions); j++ {
+			b := an.Regions[j]
+			if !b.Scratch || !an.Intervals[j].Live() {
+				continue
+			}
+			if an.Intervals[i].Overlaps(an.Intervals[j]) {
+				lo, hi := a.Node, b.Node
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				out = append(out, [2]int{lo, hi})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// DeadCount and RedundantCount total the advisory findings.
+func (an *Analysis) DeadCount() int      { return countTrue(an.Dead) }
+func (an *Analysis) RedundantCount() int { return countTrue(an.Redundant) }
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// InvertDefs returns the word-level def-use chains inverted: per
+// instruction, the instructions that read words it wrote (sorted, unique).
+func (an *Analysis) InvertDefs() [][]int32 {
+	uses := make([][]int32, len(an.Instrs))
+	for i, f := range an.Facts {
+		for _, d := range f.Defs {
+			if d < 0 {
+				continue
+			}
+			l := uses[d]
+			if len(l) == 0 || l[len(l)-1] != int32(i) {
+				uses[d] = append(l, int32(i))
+			}
+		}
+	}
+	return uses
+}
+
+// Build analyzes one generated flow against the layout and placement
+// semantics funcsim executes. Truncated flows (MaxWindowsPerOp) are not
+// executable by design and analyze vacuously. The graph must be
+// shape-inferred; callers pass the same private clone codegen consumed.
+func Build(g *graph.Graph, a *arch.Arch, s *sched.Schedule, fps map[int]mapping.Footprint, fr *codegen.Result) *Analysis {
+	an := &Analysis{arch: a, g: g}
+	if fr == nil || fr.Flow == nil || fr.Layout == nil {
+		an.Problems = []Problem{{Rule: RuleStructure, Node: -1, Msg: "nil flow result"}}
+		return an
+	}
+	if fr.Truncated {
+		an.Truncated = true
+		return an
+	}
+	if err := fr.Flow.Validate(); err != nil {
+		an.Problems = []Problem{{Rule: RuleStructure, Node: -1, Msg: err.Error()}}
+		return an
+	}
+	m := newMachine(g, a, s, fps, fr.Layout)
+	if len(m.problems) > 0 {
+		an.Problems = m.problems // the region map itself is broken; op checks would cascade
+		an.Regions = m.regions
+		return an
+	}
+	m.section(fr.Flow.Init, "init")
+	m.section(fr.Flow.Body, "body")
+	if !m.full() {
+		for _, id := range g.Outputs() {
+			r := m.nodeRegion[id]
+			if r == nil || r.Size == 0 {
+				continue
+			}
+			if r.defined != r.Size {
+				m.report(RuleOutputUndef, id, "output region has %d of %d words undefined when the flow ends", r.Size-r.defined, r.Size)
+			}
+		}
+	}
+	an.Problems = m.problems
+	an.Instrs = m.instrs
+	an.Regions = m.regions
+	if len(an.Problems) > 0 {
+		return an
+	}
+	an.Facts = m.facts
+	an.RegionWriters = m.regionWriters
+	an.Redundant = m.redundant
+	an.TransferWords = m.transferWords
+	m.backwardLiveness(an)
+	m.liveRanges(an)
+	m.crossbarPressure(an)
+	return an
+}
+
+// sortedInt64Keys returns m's keys ascending (deterministic region order).
+func sortedInt64Keys(m map[int]int64) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}

@@ -45,7 +45,12 @@ type pipe struct {
 }
 
 func buildPipe(mode arch.Mode, withFlow bool) (*pipe, error) {
-	g := models.ConvReLU()
+	return buildPipeOn(models.ConvReLU(), mode, withFlow)
+}
+
+// buildPipeOn is buildPipe on an arbitrary model, for fixtures that need more
+// than conv-relu's single CIM node (e.g. cross-node scratch corruption).
+func buildPipeOn(g *graph.Graph, mode arch.Mode, withFlow bool) (*pipe, error) {
 	a := arch.ToyExample()
 	a.Mode = mode
 	m, err := cost.New(g, a)
@@ -228,6 +233,109 @@ func Fixtures() []Fixture {
 				// Program a crossbar the chip does not have.
 				wx.XB = st.a.TotalCrossbars() + 3
 				st.fr.Flow.Init[0] = wx
+				return VerifyFlow(st.g, st.a, st.s, st.m.FPs, st.fr), nil
+			},
+		},
+		{
+			Name: "flow-dead-mop",
+			Rule: RuleFlowDeadMOP,
+			Check: func() ([]Violation, error) {
+				st, err := buildPipe(arch.XBM, true)
+				if err != nil {
+					return nil, err
+				}
+				// A transfer into scratch that no later instruction reads:
+				// copy one defined input word into the conv node's gather
+				// buffer as the flow's very last act.
+				cim := st.g.CIMNodeIDs()[0]
+				in := st.g.InputIDs()[0]
+				scratch, ok := st.fr.Layout.Scratch[cim]
+				if !ok {
+					return nil, fmt.Errorf("fixture baseline: node %d has no scratch region", cim)
+				}
+				st.fr.Flow.Body = append(st.fr.Flow.Body,
+					mop.Mov{Src: st.fr.Layout.Base[in], Dst: scratch, Len: 1})
+				return VerifyFlowStrict(st.g, st.a, st.s, st.m.FPs, st.fr), nil
+			},
+		},
+		{
+			Name: "flow-redundant-transfer",
+			Rule: RuleFlowRedundant,
+			Check: func() ([]Violation, error) {
+				st, err := buildPipe(arch.XBM, true)
+				if err != nil {
+					return nil, err
+				}
+				// Re-issue the first gather verbatim right after itself: its
+				// source region is unchanged and its destination words still
+				// hold exactly what the original moved.
+				body := st.fr.Flow.Body
+				at := -1
+				for i, op := range body {
+					switch op.(type) {
+					case mop.Mov, mop.MovWindow:
+						at = i
+					}
+					if at >= 0 {
+						break
+					}
+				}
+				if at < 0 {
+					return nil, fmt.Errorf("fixture baseline: flow body has no transfer to duplicate")
+				}
+				dup := make([]mop.Op, 0, len(body)+1)
+				dup = append(dup, body[:at+1]...)
+				dup = append(dup, body[at])
+				dup = append(dup, body[at+1:]...)
+				st.fr.Flow.Body = dup
+				return VerifyFlowStrict(st.g, st.a, st.s, st.m.FPs, st.fr), nil
+			},
+		},
+		{
+			Name: "flow-scratch-cross-read",
+			Rule: RuleFlowScratchLap,
+			Check: func() ([]Violation, error) {
+				// Needs two CIM nodes: redirect the second dense layer's
+				// crossbar read into the first layer's gather buffer, so two
+				// nodes consume the same staged words.
+				st, err := buildPipeOn(models.MLP(), arch.XBM, true)
+				if err != nil {
+					return nil, err
+				}
+				cims := st.g.CIMNodeIDs()
+				if len(cims) < 2 {
+					return nil, fmt.Errorf("fixture baseline: want >=2 CIM nodes, got %d", len(cims))
+				}
+				first, ok := st.fr.Layout.Scratch[cims[0]]
+				if !ok {
+					return nil, fmt.Errorf("fixture baseline: node %d has no scratch region", cims[0])
+				}
+				second, ok := st.fr.Layout.Scratch[cims[1]]
+				if !ok {
+					return nil, fmt.Errorf("fixture baseline: node %d has no scratch region", cims[1])
+				}
+				redirected := false
+				var walk func(ops []mop.Op) []mop.Op
+				walk = func(ops []mop.Op) []mop.Op {
+					for i, op := range ops {
+						switch o := op.(type) {
+						case mop.Parallel:
+							o.Body = walk(o.Body)
+							ops[i] = o
+						case mop.ReadXB:
+							if !redirected && o.Src >= second {
+								o.Src = first
+								ops[i] = o
+								redirected = true
+							}
+						}
+					}
+					return ops
+				}
+				st.fr.Flow.Body = walk(st.fr.Flow.Body)
+				if !redirected {
+					return nil, fmt.Errorf("fixture baseline: no crossbar read sourced from node %d's scratch", cims[1])
+				}
 				return VerifyFlow(st.g, st.a, st.s, st.m.FPs, st.fr), nil
 			},
 		},

@@ -1,672 +1,51 @@
 package irverify
 
 import (
-	"fmt"
-	"sort"
-
 	"cimmlc/internal/arch"
 	"cimmlc/internal/codegen"
+	"cimmlc/internal/flowdata"
 	"cimmlc/internal/graph"
 	"cimmlc/internal/mapping"
-	"cimmlc/internal/mop"
 	"cimmlc/internal/sched"
 )
 
-// VerifyFlow statically checks a generated meta-operator flow against the
-// layout and placement semantics funcsim executes:
-//
-//   - buffer regions (node outputs + per-node gather scratch) are disjoint
-//     and inside the layout (flow/scratch-overlap, flow/region-bounds);
-//   - every operand word is defined before it is read
-//     (flow/use-before-def);
-//   - crossbar reads only touch programmed crossbars and programmed
-//     wordlines, mirroring funcsim's reprogram-reset bookkeeping
-//     (flow/unprogrammed-read);
-//   - transfer endpoints exist: crossbar and core indices inside the chip,
-//     tile extents inside the crossbar and the node's cell matrix, DCOM
-//     sources addressing their graph inputs' regions (flow/endpoint);
-//   - ops inside one parallel group never race: no op reads a word another
-//     group member writes, and no plain write clobbers an earlier member's
-//     write — write-then-accumulate and accumulate-then-accumulate are the
-//     two legal overlaps, matching the sequential execution order funcsim
-//     uses (flow/parallel-conflict);
-//   - every graph output region is fully defined when the flow ends
-//     (flow/output-undefined).
+// VerifyFlow checks the generated meta-operator flow with flow-sensitive
+// precision: it runs internal/flowdata's abstract interpretation — the same
+// def-use, region and crossbar-programming tracking the optimizer and the
+// analyze report consume — and converts its problems to violations. The
+// flow/* rules this reports (use-before-def, unprogrammed-read,
+// scratch-overlap, region-bounds, endpoint, parallel-conflict,
+// output-undefined, …) are exact over the single execution the
+// straight-line flow denotes, not syntactic approximations; in particular,
+// address-aliased scratch slots (legal after liveness-based slot reuse) are
+// accepted as long as no two CIM nodes ever consume the same gathered data.
 //
 // Truncated flows (MaxWindowsPerOp) are not executable by design and verify
-// vacuously. The graph must be shape-inferred; callers pass the same private
-// clone codegen consumed.
+// vacuously. The graph must be shape-inferred; callers pass the same
+// private clone codegen consumed.
 func VerifyFlow(g *graph.Graph, a *arch.Arch, s *sched.Schedule, fps map[int]mapping.Footprint, fr *codegen.Result) []Violation {
-	if fr == nil || fr.Flow == nil || fr.Layout == nil {
-		return []Violation{{Rule: RuleFlowStructure, Node: -1, Msg: "nil flow result"}}
-	}
-	if fr.Truncated {
+	return problemsToViolations(flowdata.Build(g, a, s, fps, fr).Problems)
+}
+
+// VerifyFlowStrict is VerifyFlow plus the advisory dataflow rules promoted
+// to violations: flow/dead-mop for transfers whose written scratch no later
+// instruction reads, and flow/redundant-transfer for re-transfers of
+// unchanged data. The strict tier is what internal/flowopt requires of its
+// own output — an optimized flow must have nothing left to delete — and
+// what the seeded-corruption fixtures assert. It is not the default
+// compilation gate: unoptimized multi-round flows legitimately re-gather
+// unchanged data every round.
+func VerifyFlowStrict(g *graph.Graph, a *arch.Arch, s *sched.Schedule, fps map[int]mapping.Footprint, fr *codegen.Result) []Violation {
+	return problemsToViolations(flowdata.Build(g, a, s, fps, fr).StrictProblems())
+}
+
+func problemsToViolations(ps []flowdata.Problem) []Violation {
+	if len(ps) == 0 {
 		return nil
 	}
-	if err := fr.Flow.Validate(); err != nil {
-		return []Violation{{Rule: RuleFlowStructure, Node: -1, Msg: err.Error()}}
-	}
-	v := newFlowVerifier(g, a, s, fps, fr.Layout)
-	if len(v.vs) > 0 {
-		return v.vs // the region map itself is broken; op checks would cascade
-	}
-	for _, op := range fr.Flow.Init {
-		v.step(op, "init")
-		if v.full() {
-			return v.vs
-		}
-	}
-	for _, op := range fr.Flow.Body {
-		v.step(op, "body")
-		if v.full() {
-			return v.vs
-		}
-	}
-	for _, id := range g.Outputs() {
-		r := v.nodeRegion[id]
-		if r == nil || r.size == 0 {
-			continue
-		}
-		if r.defined != r.size {
-			v.report(RuleFlowOutputUndef, id, "output region has %d of %d words undefined when the flow ends", r.size-r.defined, r.size)
-		}
-	}
-	return v.vs
-}
-
-// region is one contiguous slice of the flat buffer space: a node's output
-// or a CIM node's gather scratch.
-type region struct {
-	base, size int64
-	node       int
-	scratch    bool
-	defined    int64 // words of this region defined so far
-}
-
-func (r *region) String() string {
-	kind := "output"
-	if r.scratch {
-		kind = "scratch"
-	}
-	return fmt.Sprintf("node %d %s [%d,%d)", r.node, kind, r.base, r.base+r.size)
-}
-
-// span is a half-open address interval [lo,hi) with an optional stride: a
-// strided span covers lo, lo+stride, … for count words (hi = last+1).
-type span struct {
-	lo     int64
-	count  int64
-	stride int64
-}
-
-func (s span) word(i int64) int64 { return s.lo + i*s.stride }
-func (s span) end() int64 {
-	if s.count == 0 {
-		return s.lo
-	}
-	return s.word(s.count-1) + 1
-}
-
-func contig(lo, n int64) span { return span{lo: lo, count: n, stride: 1} }
-
-// effect is the memory behavior of one op: explicit word reads, whole-region
-// conservative reads, plain writes and accumulating writes.
-type effect struct {
-	reads       []span
-	regionReads []*region
-	writes      []span
-	accs        []span
-}
-
-// xbState mirrors funcsim's per-crossbar programming record, including the
-// reprogram-reset rule: a write with a different (node, rowDelta, colOff)
-// key clears the crossbar before programming.
-type xbState struct {
-	node       int
-	rowDelta   int
-	cellColOff int
-	rows, cols int
-}
-
-type flowVerifier struct {
-	g   *graph.Graph
-	a   *arch.Arch
-	s   *sched.Schedule
-	fps map[int]mapping.Footprint
-	lay *codegen.Layout
-
-	regions    []*region
-	nodeRegion map[int]*region
-	scratchOf  map[int]*region
-	defined    []bool
-	prog       []xbState
-
-	// Parallel-group conflict scratch: mark[w] == epoch means word w was
-	// written this group, by group member markOp[w].
-	epoch  int32
-	mark   []int32
-	markOp []int32
-
-	vs []Violation
-}
-
-func newFlowVerifier(g *graph.Graph, a *arch.Arch, s *sched.Schedule, fps map[int]mapping.Footprint, lay *codegen.Layout) *flowVerifier {
-	v := &flowVerifier{
-		g: g, a: a, s: s, fps: fps, lay: lay,
-		nodeRegion: map[int]*region{},
-		scratchOf:  map[int]*region{},
-		prog:       make([]xbState, a.TotalCrossbars()),
-	}
-	for i := range v.prog {
-		v.prog[i].node = -1
-	}
-	for _, n := range g.Nodes {
-		base, ok := lay.Base[n.ID]
-		if !ok {
-			v.report(RuleFlowRegionBounds, n.ID, "node has no layout region")
-			continue
-		}
-		r := &region{base: base, size: lay.Size[n.ID], node: n.ID}
-		v.regions = append(v.regions, r)
-		v.nodeRegion[n.ID] = r
-	}
-	for _, id := range sortedInt64Keys(lay.Scratch) {
-		f, ok := fps[id]
-		if !ok {
-			v.report(RuleFlowRegionBounds, id, "scratch region for a node without a footprint")
-			continue
-		}
-		dup := 1
-		if s != nil && f.Rounds(a) == 1 {
-			dup = s.DupOf(id)
-		}
-		r := &region{base: lay.Scratch[id], size: int64(f.Rows) * int64(dup), node: id, scratch: true}
-		v.regions = append(v.regions, r)
-		v.scratchOf[id] = r
-	}
-	sortRegions(v.regions)
-	var prevEnd int64
-	var prev *region
-	for _, r := range v.regions {
-		if r.base < 0 || r.base+r.size > lay.Total {
-			v.report(RuleFlowRegionBounds, r.node, "%s outside the %d-word layout", r, lay.Total)
-		}
-		if prev != nil && r.base < prevEnd {
-			v.report(RuleFlowScratchLap, r.node, "%s overlaps %s", r, prev)
-		}
-		if end := r.base + r.size; end > prevEnd {
-			prevEnd = end
-			prev = r
-		}
-	}
-	if len(v.vs) > 0 {
-		return v
-	}
-	v.defined = make([]bool, lay.Total)
-	v.mark = make([]int32, lay.Total)
-	v.markOp = make([]int32, lay.Total)
-	// Inputs are loaded before the flow runs.
-	for _, id := range v.g.InputIDs() {
-		if r := v.nodeRegion[id]; r != nil {
-			v.defineSpan(contig(r.base, r.size), r)
-		}
-	}
-	return v
-}
-
-func (v *flowVerifier) full() bool { return len(v.vs) >= maxViolations }
-
-func (v *flowVerifier) report(rule string, node int, format string, args ...any) {
-	if len(v.vs) < maxViolations {
-		v.vs = append(v.vs, Violation{rule, node, fmt.Sprintf(format, args...)})
-	}
-}
-
-// regionAt returns the region containing addr, or nil.
-func (v *flowVerifier) regionAt(addr int64) *region {
-	lo, hi := 0, len(v.regions)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if v.regions[mid].base > addr {
-			hi = mid
-		} else {
-			lo = mid + 1
-		}
-	}
-	if lo == 0 {
-		return nil
-	}
-	r := v.regions[lo-1]
-	if addr < r.base+r.size {
-		return r
-	}
-	return nil
-}
-
-// spanRegion checks a span lies inside a single region and returns it.
-func (v *flowVerifier) spanRegion(sp span, node int, what string) *region {
-	if sp.count == 0 {
-		return nil
-	}
-	if sp.lo < 0 || sp.end() > v.lay.Total {
-		v.report(RuleFlowRegionBounds, node, "%s [%d,%d) outside the %d-word layout", what, sp.lo, sp.end(), v.lay.Total)
-		return nil
-	}
-	r := v.regionAt(sp.lo)
-	if r == nil || sp.end() > r.base+r.size {
-		v.report(RuleFlowRegionBounds, node, "%s [%d,%d) does not stay inside one buffer region", what, sp.lo, sp.end())
-		return nil
-	}
-	return r
-}
-
-func (v *flowVerifier) defineSpan(sp span, r *region) {
-	for i := int64(0); i < sp.count; i++ {
-		w := sp.word(i)
-		if !v.defined[w] {
-			v.defined[w] = true
-			if r == nil {
-				r = v.regionAt(w)
-			}
-			if r != nil {
-				r.defined++
-			}
-		}
-	}
-}
-
-// step verifies one top-level op (or parallel group) and applies its effect.
-func (v *flowVerifier) step(op mop.Op, section string) {
-	if par, ok := op.(mop.Parallel); ok {
-		v.stepParallel(par, section)
-		return
-	}
-	eff, ok := v.effectOf(op)
-	if !ok {
-		return
-	}
-	v.apply(op, eff)
-}
-
-// stepParallel checks the group's members pairwise for write/write and
-// read/write races, then applies them in program order — the order funcsim
-// executes them, which the accumulate def-use rule depends on.
-func (v *flowVerifier) stepParallel(par mop.Parallel, section string) {
-	effs := make([]effect, len(par.Body))
-	oks := make([]bool, len(par.Body))
-	for i, inner := range par.Body {
-		if _, nested := inner.(mop.Parallel); nested {
-			v.report(RuleFlowStructure, -1, "nested parallel group in %s section", section)
-			return
-		}
-		effs[i], oks[i] = v.effectOf(inner)
-	}
-	v.epoch++
-	// Pass 1: mark writes in program order; a plain write over any earlier
-	// member's write is a clobber (W-then-A and A-then-A are the legal
-	// accumulation overlaps).
-	for i := range par.Body {
-		if !oks[i] {
-			continue
-		}
-		markWrite := func(sp span, acc bool) {
-			for k := int64(0); k < sp.count; k++ {
-				w := sp.word(k)
-				if w < 0 || w >= int64(len(v.mark)) {
-					continue
-				}
-				if v.mark[w] == v.epoch && !acc {
-					v.report(RuleFlowParallel, -1,
-						"parallel members %d and %d both plain-write word %d: %s clobbers %s",
-						v.markOp[w], i, w, par.Body[i], par.Body[v.markOp[w]])
-					return
-				}
-				v.mark[w] = v.epoch
-				v.markOp[w] = int32(i)
-			}
-		}
-		for _, sp := range effs[i].writes {
-			markWrite(sp, false)
-		}
-		for _, sp := range effs[i].accs {
-			markWrite(sp, true)
-		}
-	}
-	// Pass 2: no member may read a word another member writes.
-	for i := range par.Body {
-		if !oks[i] {
-			continue
-		}
-		checkRead := func(w int64) bool {
-			if w >= 0 && w < int64(len(v.mark)) && v.mark[w] == v.epoch && v.markOp[w] != int32(i) {
-				v.report(RuleFlowParallel, -1,
-					"parallel member %d reads word %d that member %d writes: %s races %s",
-					i, w, v.markOp[w], par.Body[i], par.Body[v.markOp[w]])
-				return true
-			}
-			return false
-		}
-		for _, sp := range effs[i].reads {
-			for k := int64(0); k < sp.count; k++ {
-				if checkRead(sp.word(k)) {
-					break
-				}
-			}
-		}
-		for _, r := range effs[i].regionReads {
-			for w := r.base; w < r.base+r.size; w++ {
-				if checkRead(w) {
-					break
-				}
-			}
-		}
-	}
-	for i, inner := range par.Body {
-		if oks[i] {
-			v.apply(inner, effs[i])
-		}
-	}
-}
-
-// apply runs the def-use checks of one op's effect and commits its writes.
-func (v *flowVerifier) apply(op mop.Op, eff effect) {
-	for _, sp := range eff.reads {
-		for i := int64(0); i < sp.count; i++ {
-			w := sp.word(i)
-			if w < 0 || w >= int64(len(v.defined)) || !v.defined[w] {
-				v.report(RuleFlowUseBeforeDef, -1, "reads undefined word %d: %s", w, op)
-				break
-			}
-		}
-	}
-	for _, r := range eff.regionReads {
-		if r.defined != r.size {
-			v.report(RuleFlowUseBeforeDef, r.node, "reads %s with %d of %d words undefined: %s", r, r.size-r.defined, r.size, op)
-		}
-	}
-	// Accumulating writes need no pre-defined target: the machine's memory
-	// is zero-initialized, so x += v on a never-written word equals a plain
-	// write — multi-round oversized operators depend on exactly that. The
-	// region-ownership check in crossbarReadEffect already confines accs to
-	// the emitting node's output region.
-	for _, sp := range eff.writes {
-		v.defineSpan(sp, nil)
-	}
-	for _, sp := range eff.accs {
-		v.defineSpan(sp, nil)
-	}
-}
-
-// effectOf computes one op's endpoint checks and memory effect. ok=false
-// means the op was too broken to model (its violations are already
-// reported); the caller skips its effect.
-func (v *flowVerifier) effectOf(op mop.Op) (effect, bool) {
-	switch o := op.(type) {
-	case mop.WriteXB:
-		return effect{}, v.applyWrite(o.XB, 0, o.Node, o.CellRowOff, o.CellColOff, o.Rows, o.Cols, op)
-	case mop.WriteRow:
-		return effect{}, v.applyWrite(o.XB, o.Row, o.Node, o.CellRowOff, o.CellColOff, o.NumRows, o.Cols, op)
-	case mop.ReadXB:
-		if !v.xbOK(o.XB, op) {
-			return effect{}, false
-		}
-		p := &v.prog[o.XB]
-		if p.node < 0 {
-			v.report(RuleFlowUnprogrammed, -1, "reads unprogrammed crossbar %d: %s", o.XB, op)
-			return effect{}, false
-		}
-		return v.crossbarReadEffect(p, p.rows, o.Src, o.Dst, o.DstStride, o.Acc, op)
-	case mop.ReadRow:
-		if !v.xbOK(o.XB, op) {
-			return effect{}, false
-		}
-		if o.NumRows > v.a.XB.ParallelRow {
-			v.report(RuleFlowEndpoint, -1, "activates %d rows but parallel_row is %d: %s", o.NumRows, v.a.XB.ParallelRow, op)
-			return effect{}, false
-		}
-		p := &v.prog[o.XB]
-		if p.node < 0 {
-			v.report(RuleFlowUnprogrammed, -1, "reads unprogrammed crossbar %d: %s", o.XB, op)
-			return effect{}, false
-		}
-		if o.Row < 0 || o.Row+o.NumRows > p.rows {
-			v.report(RuleFlowUnprogrammed, p.node, "reads wordlines [%d,%d) but only %d are programmed: %s", o.Row, o.Row+o.NumRows, p.rows, op)
-			return effect{}, false
-		}
-		return v.crossbarReadEffect(p, o.NumRows, o.Src, o.Dst, o.DstStride, o.Acc, op)
-	case mop.ReadCore:
-		return v.readCoreEffect(o)
-	case mop.Mov:
-		if o.Len < 0 {
-			v.report(RuleFlowEndpoint, -1, "negative length: %s", op)
-			return effect{}, false
-		}
-		rOK := v.spanRegion(contig(o.Src, o.Len), -1, "mov source") != nil
-		wOK := v.spanRegion(contig(o.Dst, o.Len), -1, "mov destination") != nil
-		if !rOK || !wOK {
-			return effect{}, false
-		}
-		return effect{reads: []span{contig(o.Src, o.Len)}, writes: []span{contig(o.Dst, o.Len)}}, true
-	case mop.MovWindow:
-		return v.movWindowEffect(o)
-	case mop.Dcom:
-		return v.dcomEffect(o)
-	}
-	v.report(RuleFlowStructure, -1, "unknown op type %T", op)
-	return effect{}, false
-}
-
-func (v *flowVerifier) xbOK(xb int, op mop.Op) bool {
-	if xb < 0 || xb >= len(v.prog) {
-		v.report(RuleFlowEndpoint, -1, "crossbar %d outside the chip's %d crossbars: %s", xb, len(v.prog), op)
-		return false
-	}
-	return true
-}
-
-// applyWrite models cim.writexb / cim.writerow, mirroring funcsim.writeTile:
-// endpoint checks plus the reprogram-reset bookkeeping.
-func (v *flowVerifier) applyWrite(xb, rowStart, node, cellRowOff, cellColOff, rows, cols int, op mop.Op) bool {
-	if !v.xbOK(xb, op) {
-		return false
-	}
-	f, ok := v.fps[node]
-	if !ok {
-		v.report(RuleFlowUnknownNode, node, "programs weights of a node without a footprint: %s", op)
-		return false
-	}
-	bad := false
-	if rowStart < 0 || rows <= 0 || rowStart+rows > v.a.XB.Rows || cols <= 0 || cols > v.a.XB.Cols {
-		v.report(RuleFlowEndpoint, node, "tile %dx%d at wordline %d exceeds the %dx%d crossbar: %s", rows, cols, rowStart, v.a.XB.Rows, v.a.XB.Cols, op)
-		bad = true
-	}
-	s := v.a.CellsPerWeight()
-	if cellColOff%s != 0 {
-		v.report(RuleFlowEndpoint, node, "cell column offset %d not aligned to %d cells per weight: %s", cellColOff, s, op)
-		bad = true
-	}
-	if cellRowOff < 0 || cellRowOff+rows > f.Rows {
-		v.report(RuleFlowEndpoint, node, "cell rows [%d,%d) exceed the node's %d-row weight matrix: %s", cellRowOff, cellRowOff+rows, f.Rows, op)
-		bad = true
-	}
-	if cellColOff < 0 || cellColOff+cols > f.CellCols {
-		v.report(RuleFlowEndpoint, node, "cell cols [%d,%d) exceed the node's %d-col cell matrix: %s", cellColOff, cellColOff+cols, f.CellCols, op)
-		bad = true
-	}
-	if bad {
-		return false
-	}
-	p := &v.prog[xb]
-	if p.node != node || p.rowDelta != cellRowOff-rowStart || p.cellColOff != cellColOff {
-		*p = xbState{node: node, rowDelta: cellRowOff - rowStart, cellColOff: cellColOff, rows: 0, cols: cols}
-	}
-	if rowStart+rows > p.rows {
-		p.rows = rowStart + rows
-	}
-	if cols > p.cols {
-		p.cols = cols
-	}
-	return true
-}
-
-// crossbarReadEffect models cim.readxb / cim.readrow: read nrows input words
-// at src, write (or accumulate) the per-weight-column sums with the given
-// stride into the programmed node's output region.
-func (v *flowVerifier) crossbarReadEffect(p *xbState, nrows int, src, dst, stride int64, acc bool, op mop.Op) (effect, bool) {
-	if stride <= 0 {
-		v.report(RuleFlowEndpoint, p.node, "non-positive destination stride %d: %s", stride, op)
-		return effect{}, false
-	}
-	nW := int64(p.cols / v.a.CellsPerWeight())
-	read := contig(src, int64(nrows))
-	if v.spanRegion(read, p.node, "crossbar input") == nil {
-		return effect{}, false
-	}
-	write := span{lo: dst, count: nW, stride: stride}
-	out := v.nodeRegion[p.node]
-	if out == nil {
-		v.report(RuleFlowUnknownNode, p.node, "programmed node has no output region: %s", op)
-		return effect{}, false
-	}
-	if write.count > 0 && (write.lo < out.base || write.end() > out.base+out.size) {
-		v.report(RuleFlowRegionBounds, p.node, "writes [%d,%d) outside the node's output region [%d,%d): %s",
-			write.lo, write.end(), out.base, out.base+out.size, op)
-		return effect{}, false
-	}
-	eff := effect{reads: []span{read}}
-	if acc {
-		eff.accs = []span{write}
-	} else {
-		eff.writes = []span{write}
-	}
-	return eff, true
-}
-
-// readCoreEffect models cim.readcore: the core gathers windows from the
-// node's input region and writes every output column of every window in the
-// range, using the same destination geometry funcsim's cimDst computes.
-func (v *flowVerifier) readCoreEffect(o mop.ReadCore) (effect, bool) {
-	n, err := v.g.Node(o.Node)
-	if err != nil || !n.Op.CIMSupported() {
-		v.report(RuleFlowUnknownNode, o.Node, "readcore on a non-CIM or unknown node: %s", o)
-		return effect{}, false
-	}
-	f, ok := v.fps[o.Node]
-	if !ok {
-		v.report(RuleFlowUnknownNode, o.Node, "readcore on a node without a footprint: %s", o)
-		return effect{}, false
-	}
-	if o.Core < 0 || o.Core >= v.a.Chip.CoreCount() {
-		v.report(RuleFlowEndpoint, o.Node, "core %d outside the %d-core chip: %s", o.Core, v.a.Chip.CoreCount(), o)
-		return effect{}, false
-	}
-	if o.WinStart < 0 || o.WinCount <= 0 || o.WinStart+o.WinCount > f.MVMs {
-		v.report(RuleFlowEndpoint, o.Node, "window range [%d,%d) outside the node's %d MVM windows: %s", o.WinStart, o.WinStart+o.WinCount, f.MVMs, o)
-		return effect{}, false
-	}
-	in := v.nodeRegion[n.Inputs[0]]
-	if in == nil || o.Src != in.base {
-		v.report(RuleFlowEndpoint, o.Node, "source %d does not address input node %d's region: %s", o.Src, n.Inputs[0], o)
-		return effect{}, false
-	}
-	out := v.nodeRegion[o.Node]
-	if out == nil || o.Dst != out.base {
-		v.report(RuleFlowEndpoint, o.Node, "destination %d does not address the node's output region: %s", o.Dst, o)
-		return effect{}, false
-	}
-	eff := effect{regionReads: []*region{in}}
-	// Destination geometry of funcsim.cimDst, expressed as contiguous spans.
-	switch {
-	case n.Op == graph.OpConv:
-		hw := int64(n.OutShape[1]) * int64(n.OutShape[2])
-		for j := 0; j < f.Cols; j++ {
-			eff.writes = append(eff.writes, contig(out.base+int64(j)*hw+o.WinStart, o.WinCount))
-		}
-	case len(n.OutShape) == 2:
-		outF := int64(n.OutShape[1])
-		for w := o.WinStart; w < o.WinStart+o.WinCount; w++ {
-			eff.writes = append(eff.writes, contig(out.base+w*outF, int64(f.Cols)))
-		}
-	default:
-		eff.writes = append(eff.writes, contig(out.base, int64(f.Cols)))
-	}
-	for _, sp := range eff.writes {
-		if sp.lo < out.base || sp.end() > out.base+out.size {
-			v.report(RuleFlowRegionBounds, o.Node, "writes [%d,%d) outside the node's output region: %s", sp.lo, sp.end(), o)
-			return effect{}, false
-		}
-	}
-	return eff, true
-}
-
-// movWindowEffect models mov_window: an im2col gather of one convolution
-// window from the input region into a contiguous scratch vector.
-func (v *flowVerifier) movWindowEffect(o mop.MovWindow) (effect, bool) {
-	n, err := v.g.Node(o.Node)
-	if err != nil || n.Op != graph.OpConv {
-		v.report(RuleFlowUnknownNode, o.Node, "mov_window on a non-conv node: %s", o)
-		return effect{}, false
-	}
-	f, ok := v.fps[o.Node]
-	if !ok {
-		v.report(RuleFlowUnknownNode, o.Node, "mov_window on a node without a footprint: %s", o)
-		return effect{}, false
-	}
-	if o.Window < 0 || o.Window >= f.MVMs {
-		v.report(RuleFlowEndpoint, o.Node, "window %d outside the node's %d MVM windows: %s", o.Window, f.MVMs, o)
-		return effect{}, false
-	}
-	in := v.nodeRegion[n.Inputs[0]]
-	if in == nil || o.SrcBase != in.base {
-		v.report(RuleFlowEndpoint, o.Node, "source %d does not address input node %d's region: %s", o.SrcBase, n.Inputs[0], o)
-		return effect{}, false
-	}
-	write := contig(o.Dst, int64(f.Rows))
-	if v.spanRegion(write, o.Node, "gather destination") == nil {
-		return effect{}, false
-	}
-	return effect{regionReads: []*region{in}, writes: []span{write}}, true
-}
-
-// dcomEffect models a digital-compute op: funcsim reads the graph inputs'
-// regions (the Srcs operands must address them) and writes the node's whole
-// output region.
-func (v *flowVerifier) dcomEffect(o mop.Dcom) (effect, bool) {
-	n, err := v.g.Node(o.Node)
-	if err != nil {
-		v.report(RuleFlowUnknownNode, o.Node, "dcom on unknown node: %s", o)
-		return effect{}, false
-	}
-	out := v.nodeRegion[o.Node]
-	if out == nil || o.Dst != out.base || o.Len != out.size {
-		v.report(RuleFlowEndpoint, o.Node, "destination [%d,%d) does not match the node's output region: %s", o.Dst, o.Dst+o.Len, o)
-		return effect{}, false
-	}
-	if len(o.Srcs) != len(n.Inputs) {
-		v.report(RuleFlowEndpoint, o.Node, "%d sources for %d graph inputs: %s", len(o.Srcs), len(n.Inputs), o)
-		return effect{}, false
-	}
-	eff := effect{writes: []span{contig(out.base, out.size)}}
-	for i, src := range o.Srcs {
-		in := v.nodeRegion[n.Inputs[i]]
-		if in == nil || src != in.base {
-			v.report(RuleFlowEndpoint, o.Node, "source %d does not address input node %d's region: %s", src, n.Inputs[i], o)
-			return effect{}, false
-		}
-		eff.regionReads = append(eff.regionReads, in)
-	}
-	return eff, true
-}
-
-func sortedInt64Keys(m map[int]int64) []int {
-	ks := make([]int, 0, len(m))
-	for k := range m {
-		ks = append(ks, k)
-	}
-	sort.Ints(ks)
-	return ks
-}
-
-func sortRegions(rs []*region) {
-	sort.Slice(rs, func(i, j int) bool { return rs[i].base < rs[j].base })
+	vs := make([]Violation, len(ps))
+	for i, p := range ps {
+		vs[i] = Violation{Rule: p.Rule, Node: p.Node, Msg: p.Msg}
+	}
+	return vs
 }

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"cimmlc/internal/arch"
+	"cimmlc/internal/flowdata"
 	"cimmlc/internal/graph"
 	"cimmlc/internal/mapping"
 	"cimmlc/internal/sched"
@@ -50,15 +51,20 @@ const (
 	RuleMapCoverage   = "map/coverage"
 	RuleMapPlanDrift  = "map/plan-drift"
 
-	RuleFlowStructure    = "flow/structure"
-	RuleFlowEndpoint     = "flow/endpoint"
-	RuleFlowUnknownNode  = "flow/unknown-node"
-	RuleFlowUseBeforeDef = "flow/use-before-def"
-	RuleFlowUnprogrammed = "flow/unprogrammed-read"
-	RuleFlowRegionBounds = "flow/region-bounds"
-	RuleFlowScratchLap   = "flow/scratch-overlap"
-	RuleFlowParallel     = "flow/parallel-conflict"
-	RuleFlowOutputUndef  = "flow/output-undefined"
+	// The flow/* family lives in internal/flowdata (the dataflow framework
+	// that computes them); aliased here so every stable rule identifier is
+	// still reachable from one package.
+	RuleFlowStructure    = flowdata.RuleStructure
+	RuleFlowEndpoint     = flowdata.RuleEndpoint
+	RuleFlowUnknownNode  = flowdata.RuleUnknownNode
+	RuleFlowUseBeforeDef = flowdata.RuleUseBeforeDef
+	RuleFlowUnprogrammed = flowdata.RuleUnprogrammed
+	RuleFlowRegionBounds = flowdata.RuleRegionBounds
+	RuleFlowScratchLap   = flowdata.RuleScratchLap
+	RuleFlowParallel     = flowdata.RuleParallel
+	RuleFlowOutputUndef  = flowdata.RuleOutputUndef
+	RuleFlowDeadMOP      = flowdata.RuleDeadMOP
+	RuleFlowRedundant    = flowdata.RuleRedundant
 )
 
 // Violation is one rule breach found by the verifier.

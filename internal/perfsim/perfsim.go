@@ -117,6 +117,7 @@ func SimulateWithModelCtx(ctx context.Context, s *sched.Schedule, m *cost.Model)
 // returns the segment's completion time.
 func simulateSegment(ctx context.Context, s *sched.Schedule, m *cost.Model, seg []int, segStart float64, rep *Report) (float64, error) {
 	inSeg := map[int]bool{}
+	//cimlint:ignore ctxcancel -- membership-set build over one segment; the operator loop below polls
 	for _, id := range seg {
 		inSeg[id] = true
 	}
@@ -364,11 +365,13 @@ func fillOccupancy(ctx context.Context, s *sched.Schedule, m *cost.Model, rep *R
 	if err != nil {
 		return fmt.Errorf("perfsim: placement: %w", err)
 	}
+	//cimlint:ignore ctxcancel -- max over per-segment core counts; PlaceCtx above polled per segment
 	for _, c := range p.SegmentCores {
 		if c > rep.CoresUsed {
 			rep.CoresUsed = c
 		}
 	}
+	//cimlint:ignore ctxcancel -- sum over segment count, trivially bounded
 	for seg := range s.Segments {
 		rep.XBsUsed += p.XBsUsed(seg)
 	}

@@ -3,7 +3,7 @@
 // alone — the x/tools analysis framework is deliberately not a dependency,
 // so the linters build in a hermetic container.
 //
-// Three rules guard properties the test suite can only probe statistically:
+// Four rules guard properties the test suite can only probe statistically:
 //
 //   - maprange: no bare `range` over a map in the deterministic compiler
 //     packages (scheduling, codegen, tuning, simulation). Map iteration
@@ -15,6 +15,9 @@
 //   - libpanic: no panic in library (non-cmd) code; errors must flow back
 //     to the caller per the repo's error-return convention. Must* helpers
 //     are the sanctioned panicking wrappers and are exempt.
+//   - ctxcancel: every outermost loop in a context-accepting compiler
+//     function must poll ctx.Err()/ctx.Done() or forward ctx to a callee,
+//     so cancelled compilations actually stop.
 //
 // A finding can be locally waived with a comment on the flagged line or the
 // line directly above it:
@@ -58,7 +61,7 @@ type Analyzer struct {
 }
 
 // All returns every cimlint rule in reporting order.
-func All() []*Analyzer { return []*Analyzer{MapRange, NonDet, LibPanic} }
+func All() []*Analyzer { return []*Analyzer{MapRange, NonDet, LibPanic, CtxCancel} }
 
 // Finding is a resolved diagnostic: rule name plus file position.
 type Finding struct {
@@ -200,6 +203,8 @@ var deterministicPkgs = map[string]bool{
 	"cimmlc/internal/cost":     true,
 	"cimmlc/internal/funcsim":  true,
 	"cimmlc/internal/irverify": true,
+	"cimmlc/internal/flowdata": true,
+	"cimmlc/internal/flowopt":  true,
 }
 
 // pkgNameOf resolves an identifier to the package it names, or nil.

@@ -246,3 +246,110 @@ func f(m map[int]int) int {
 		t.Fatalf("_test.go file flagged: %v", fs)
 	}
 }
+
+func TestCtxCancelFlagsDeafLoop(t *testing.T) {
+	fs := check(t, detPkg, `package sched
+import "context"
+func f(ctx context.Context, xs []int) int {
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+`)
+	if len(fs) != 1 || fs[0].Analyzer != "ctxcancel" {
+		t.Fatalf("findings = %v, want one ctxcancel", fs)
+	}
+}
+
+func TestCtxCancelAllowsPollingAndForwarding(t *testing.T) {
+	fs := check(t, detPkg, `package sched
+import "context"
+func poll(ctx context.Context, xs []int) error {
+	for range xs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+func forward(ctx context.Context, xs [][]int) error {
+	for _, inner := range xs {
+		if err := poll(ctx, inner); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+func nested(ctx context.Context, xs [][]int) int {
+	n := 0
+	for _, inner := range xs {
+		if ctx.Err() != nil {
+			return n
+		}
+		for range inner {
+			n++
+		}
+	}
+	return n
+}
+func selectDone(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+	}
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("polling/forwarding loops flagged: %v", fs)
+	}
+}
+
+func TestCtxCancelSkipsCtxlessFunctionsAndOtherPackages(t *testing.T) {
+	fs := check(t, detPkg, `package sched
+func f(xs []int) int {
+	n := 0
+	for range xs {
+		n++
+	}
+	return n
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("ctx-less function flagged: %v", fs)
+	}
+	fs = check(t, "cimmlc/internal/arch", `package arch
+import "context"
+func f(ctx context.Context, xs []int) int {
+	n := 0
+	for range xs {
+		n++
+	}
+	return n
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("non-compiler package flagged: %v", fs)
+	}
+}
+
+func TestCtxCancelWaiver(t *testing.T) {
+	fs := check(t, detPkg, `package sched
+import "context"
+func f(ctx context.Context, xs []int) int {
+	sum := 0
+	//cimlint:ignore ctxcancel -- summing a bounded slice
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+`)
+	if len(fs) != 0 {
+		t.Fatalf("waived loop still flagged: %v", fs)
+	}
+}

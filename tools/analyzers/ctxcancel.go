@@ -1,0 +1,117 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxCancel flags cancellation-deaf loops in the compiler packages: a
+// function that accepts a context.Context promises its caller it is
+// interruptible, so every outermost loop in it must poll ctx.Err() /
+// ctx.Done() or forward ctx into a callee that does. A loop whose entire
+// subtree never touches the context runs to completion no matter what the
+// caller cancelled — exactly how a multi-second compilation outlives its
+// deadline. Nested loops inherit the outermost loop's verdict: one finding
+// per cancellation-deaf loop nest.
+var CtxCancel = &Analyzer{
+	Name: "ctxcancel",
+	Doc:  "loop in a context-accepting compiler function that never polls the context",
+	Run:  runCtxCancel,
+}
+
+func runCtxCancel(p *Pass) error {
+	if !ctxAwarePkg(p.ImportPath) {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxParams := contextParams(p, fd)
+			if len(ctxParams) == 0 {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				var pos token.Pos
+				switch l := n.(type) {
+				case *ast.ForStmt:
+					pos = l.For
+				case *ast.RangeStmt:
+					pos = l.For
+				default:
+					return true
+				}
+				if !referencesAny(p, n, ctxParams) {
+					p.Report(Diagnostic{
+						Pos:     pos,
+						Message: "loop never polls ctx.Err()/ctx.Done(), so a cancelled compilation keeps running; poll the context (or //cimlint:ignore ctxcancel -- why the loop is trivially bounded)",
+					})
+				}
+				// The outermost loop carries the nest's verdict either way:
+				// inner loops are covered by its poll or subsumed by its
+				// finding.
+				return false
+			})
+		}
+	}
+	return nil
+}
+
+// ctxAwarePkg reports whether the package is held to the cancellation
+// contract: the deterministic compiler packages plus the pass driver (which
+// nondet exempts for its wall-time traces, but whose loops still must honor
+// ctx).
+func ctxAwarePkg(path string) bool {
+	return deterministicPkgs[path] || path == "cimmlc/internal/core"
+}
+
+// contextParams collects the function's named context.Context parameters.
+func contextParams(p *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := p.Info.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// referencesAny reports whether the subtree uses any of the given objects.
+func referencesAny(p *Pass, n ast.Node, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.Info.Uses[id]; obj != nil && objs[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
