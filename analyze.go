@@ -36,6 +36,9 @@ func (c *Compiler) Analyze(ctx context.Context, g *Graph, res *Result, opt Codeg
 	if g == nil || res == nil {
 		return nil, fmt.Errorf("cimmlc: Analyze: nil graph or result")
 	}
+	if res.Partition != nil {
+		return c.analyzePartitioned(ctx, g, res, opt)
+	}
 	gc, err := cloneGraph(g)
 	if err != nil {
 		return nil, fmt.Errorf("cimmlc: Analyze: %w", err)
@@ -57,5 +60,65 @@ func (c *Compiler) Analyze(ctx context.Context, g *Graph, res *Result, opt Codeg
 		level = string(c.arch.Mode)
 	}
 	rep := flowdata.NewReport(g.Name, c.arch.Name, level, fr, an)
+	return &rep, nil
+}
+
+// analyzePartitioned builds the static resource report for a multi-target
+// compilation: every CIM subgraph lowers and analyzes through the normal
+// path, the per-subgraph reports merge into one aggregate, and the Partition
+// section records the partition shape, the host-link transfer volume and the
+// latency decomposition (the transfer costs `cimmlc analyze` surfaces).
+func (c *Compiler) analyzePartitioned(ctx context.Context, g *Graph, res *Result, opt CodegenOptions) (*FlowReport, error) {
+	info := res.Partition
+	level := string(c.opt.MaxLevel)
+	if level == "" {
+		level = string(c.arch.Mode)
+	}
+	var parts []flowdata.Report
+	for i, sub := range info.Plan.Subs {
+		if sub.Target != TargetCIM {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sr := info.Subs[i].Res
+		if sr == nil {
+			return nil, fmt.Errorf("cimmlc: Analyze: subgraph %d: missing CIM compilation result", sub.Index)
+		}
+		gc, err := cloneGraph(sub.G)
+		if err != nil {
+			return nil, fmt.Errorf("cimmlc: Analyze: subgraph %d: %w", sub.Index, err)
+		}
+		a := c.arch
+		fr, err := codegen.Generate(gc, &a, sr.Schedule, sr.Placement, sr.Model, opt)
+		if err != nil {
+			return nil, fmt.Errorf("cimmlc: Analyze: subgraph %d: %w", sub.Index, err)
+		}
+		if c.opt.FlowOpt {
+			fr, err = flowopt.Optimize(gc, &a, sr.Schedule, sr.Model.FPs, fr)
+			if err != nil {
+				return nil, fmt.Errorf("cimmlc: Analyze: subgraph %d: %w", sub.Index, err)
+			}
+		}
+		an := flowdata.Build(gc, &a, sr.Schedule, sr.Model.FPs, fr)
+		parts = append(parts, flowdata.NewReport(g.Name, c.arch.Name, level, fr, an))
+	}
+	rep := flowdata.MergeReports(g.Name, c.arch.Name, level, parts)
+	var hostOps int64
+	for _, sr := range info.Subs {
+		hostOps += sr.HostOps
+	}
+	rep.Partition = &flowdata.PartitionReport{
+		Subgraphs:      len(info.Plan.Subs),
+		CIMNodes:       info.Plan.CIMNodeCount(),
+		HostNodes:      info.Plan.HostNodeCount(),
+		Transfers:      len(info.Plan.Transfers),
+		TransferElems:  info.Plan.TransferElems(),
+		HostOps:        hostOps,
+		CIMCycles:      info.CIMCycles,
+		HostCycles:     info.HostCycles,
+		TransferCycles: info.TransferCycles,
+	}
 	return &rep, nil
 }

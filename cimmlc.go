@@ -108,6 +108,12 @@ type (
 	// candidates evaluated, accepted moves); see Result.Tuning and
 	// ProgramStats.Tuning.
 	TuningStats = tuner.Stats
+	// Target names a node's execution target under multi-target
+	// compilation (WithHostFallback): the CIM accelerator or the host CPU.
+	Target = graph.Target
+	// PartitionInfo bundles a multi-target compilation's plan and
+	// per-subgraph results; see Result.Partition.
+	PartitionInfo = core.PartitionInfo
 )
 
 // Computing modes.
@@ -115,6 +121,12 @@ const (
 	CM  = arch.CM
 	XBM = arch.XBM
 	WLM = arch.WLM
+)
+
+// Execution targets of the partitioning pass.
+const (
+	TargetCIM  = graph.TargetCIM
+	TargetHost = graph.TargetHost
 )
 
 // Duplication-search strategies for WithAllocator.
@@ -158,6 +170,14 @@ func Model(name string) (*Graph, error) { return models.Build(name) }
 
 // ModelNames lists the model zoo.
 func ModelNames() []string { return models.Names() }
+
+// MixedModelNames lists the zoo models containing host-only operators; they
+// compile only under WithHostFallback.
+func MixedModelNames() []string { return models.MixedNames() }
+
+// ModelMixed reports whether the named zoo model contains host-only
+// operators (and therefore requires WithHostFallback to compile).
+func ModelMixed(name string) bool { return models.Mixed(name) }
 
 // Compile runs the multi-level scheduling workflow of Figure 3: CG-grained
 // optimization always, MVM-grained when the target exposes XBM or finer,

@@ -13,6 +13,7 @@
 //	cimbench -conform        # cross-level conformance matrix vs goldens
 //	cimbench -conform -conform-full -json  # full-zoo sweep, CI artifact
 //	cimbench -tune -json     # autotune the short zoo, per-cell speedup JSON
+//	cimbench -partition -json  # mixed-model host-fallback sweep, transfer-cost artifact
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 	servingArch := flag.String("serving-arch", "toy-table2", "preset architecture for -serving / -loadgen")
 	servingReqs := flag.Int("serving-requests", 32, "requests to serve in -serving")
 	conform := flag.Bool("conform", false, "run the cross-level conformance matrix against the committed goldens")
+	partition := flag.Bool("partition", false, "run the mixed-model host-fallback sweep and report transfer costs")
 	conformFull := flag.Bool("conform-full", false, "with -conform: sweep the full model zoo instead of the short matrix")
 	tune := flag.Bool("tune", false, "autotune every short-zoo (model, preset, level) cell and report speedups")
 	tuneBudget := flag.Int("tune-budget", 0, "with -tune: max candidate schedules per cell (0 = default)")
@@ -62,6 +64,13 @@ func main() {
 	}
 	if *conform {
 		if err := runConform(*conformFull, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "cimbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *partition {
+		if err := runPartition(*jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "cimbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"cimmlc/internal/conformance"
+)
+
+// runPartition sweeps the mixed-model (host fallback) matrix: every zoo
+// model with host-only operators, partitioned and executed end-to-end across
+// the short matrix's presets and levels. The JSON output carries the per-cell
+// partition shape and transfer-cost decomposition — the CI artifact that
+// tracks how much latency the host link costs each mixed model.
+func runPartition(jsonOut bool) error {
+	res, err := conformance.RunMixed(context.Background(), conformance.DefaultMixedConfig())
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(res.Format())
+	}
+	if n := len(res.Violations); n > 0 {
+		return fmt.Errorf("partition sweep: %d violations", n)
+	}
+	return nil
+}

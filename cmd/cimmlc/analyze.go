@@ -81,7 +81,9 @@ func runAnalyze(args []string) {
 // analyzeCell compiles and lowers one cell with verification on, then runs
 // the dataflow analysis and returns the report.
 func analyzeCell(ctx context.Context, g *cimmlc.Graph, a *cimmlc.Arch, level cimmlc.Mode, maxWindows int64, flowOpt bool) (*cimmlc.FlowReport, error) {
-	opts := []cimmlc.Option{cimmlc.WithVerifyIR(), cimmlc.WithCache(0)}
+	// Host fallback is on so mixed models analyze too; fully supported
+	// models compile monolithically either way, keeping goldens unchanged.
+	opts := []cimmlc.Option{cimmlc.WithVerifyIR(), cimmlc.WithCache(0), cimmlc.WithHostFallback()}
 	if level != "" {
 		opts = append(opts, cimmlc.WithMaxLevel(level))
 	}
@@ -219,5 +221,14 @@ func printAnalyzeText(r *cimmlc.FlowReport) {
 		for _, b := range r.Pressure {
 			fmt.Printf("  %-6s %d\n", b.Bucket, b.Instrs)
 		}
+	}
+	if p := r.Partition; p != nil {
+		fmt.Printf("partition:       %d subgraphs (%d cim nodes, %d host nodes)\n",
+			p.Subgraphs, p.CIMNodes, p.HostNodes)
+		fmt.Printf("  transfers:     %d cut edges, %d elements over the host link\n",
+			p.Transfers, p.TransferElems)
+		fmt.Printf("  host ops:      %d\n", p.HostOps)
+		fmt.Printf("  cycles:        cim %.0f + host %.0f + transfer %.0f = %.0f\n",
+			p.CIMCycles, p.HostCycles, p.TransferCycles, p.CIMCycles+p.HostCycles+p.TransferCycles)
 	}
 }

@@ -84,13 +84,21 @@ func summarizeSweep(w io.Writer, verb string, outcomes []sweepOutcome) int {
 		return 0
 	}
 	fmt.Fprintf(w, "%s: %d of %d cells failed\n", verb, bad, len(outcomes))
-	fmt.Fprintf(w, "%-40s %s\n", "cell", "result")
+	// Size the cell column to the longest key so long model or arch names
+	// cannot push the result column out of alignment.
+	width := len("cell")
+	for _, o := range outcomes {
+		if n := len(o.Cell.Key()); n > width {
+			width = n
+		}
+	}
+	fmt.Fprintf(w, "%-*s %s\n", width, "cell", "result")
 	for _, o := range outcomes {
 		result := "ok"
 		if o.Err != nil {
 			result = "FAIL: " + firstLine(o.Err.Error())
 		}
-		fmt.Fprintf(w, "%-40s %s\n", o.Cell.Key(), result)
+		fmt.Fprintf(w, "%-*s %s\n", width, o.Cell.Key(), result)
 	}
 	return bad
 }

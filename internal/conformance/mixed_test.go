@@ -1,0 +1,33 @@
+package conformance
+
+import (
+	"context"
+	"testing"
+)
+
+// TestMixedMatrix sweeps every mixed zoo model through the multi-target
+// property family. Short and race runs shrink the matrix to one preset —
+// the properties are per-cell, so one preset already exercises every code
+// path, and race instrumentation makes the host-fallback builds slow.
+func TestMixedMatrix(t *testing.T) {
+	cfg := DefaultMixedConfig()
+	if testing.Short() || RaceEnabled {
+		cfg.Archs = []string{"toy-table2"}
+	}
+	res, err := RunMixed(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Format())
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	for _, c := range res.Cells {
+		if c.Err != "" {
+			t.Errorf("cell %s: %s", c.Cell.Key(), c.Err)
+		}
+	}
+	if len(res.Cells) == 0 {
+		t.Fatal("mixed sweep ran zero cells; the zoo should contain mixed models")
+	}
+}

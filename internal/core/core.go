@@ -51,6 +51,12 @@ type Options struct {
 	// scheduling pipeline here, but kept in Options so it participates in
 	// the compiler's cache fingerprint.
 	FlowOpt bool
+	// HostFallback partitions graphs containing host-only operators into
+	// CIM and host subgraphs (internal/partition) instead of rejecting
+	// them; CIM subgraphs run the normal pipeline, host subgraphs lower to
+	// the host executor. Fully supported graphs are unaffected: they
+	// compile monolithically whether or not this is set.
+	HostFallback bool
 }
 
 // Result bundles everything the compiler produced.
@@ -63,6 +69,11 @@ type Result struct {
 	// (heuristic vs tuned cycles, budget spent, accepted moves); nil for
 	// untuned compilations.
 	Tuning *tuner.Stats
+	// Partition is set for multi-target compilations (host fallback on a
+	// graph with host-only operators): the plan plus per-subgraph results.
+	// Schedule, Placement and Model are then nil at the top level — the
+	// per-subgraph results carry them — and Report is the aggregate.
+	Partition *PartitionInfo
 }
 
 // Compile runs the multi-level scheduling workflow.
@@ -92,6 +103,20 @@ func CompilePasses(ctx context.Context, g *graph.Graph, a *arch.Arch, opt Option
 	if err := a.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	if hostIDs := g.HostOnlyNodeIDs(); len(hostIDs) > 0 {
+		if !opt.HostFallback {
+			n := g.Nodes[hostIDs[0]]
+			return nil, fmt.Errorf("core: graph %q: node %q (%s) has no CIM lowering (available: %s); enable host fallback (cimmlc.WithHostFallback) to partition it onto the host CPU",
+				g.Name, n.Name, n.Op, joinOps(graph.CIMLowerableOps()))
+		}
+		return compilePartitioned(ctx, g, a, opt, passes, trace)
+	}
+	return compileSingle(ctx, g, a, opt, passes, trace)
+}
+
+// compileSingle runs the single-target (pure CIM) pipeline — the paper's
+// workflow, unchanged by the multi-target refactor.
+func compileSingle(ctx context.Context, g *graph.Graph, a *arch.Arch, opt Options, passes []Pass, trace func(TraceEvent)) (*Result, error) {
 	if opt.VerifyIR {
 		// VerifyGraph subsumes shape inference, so a malformed input graph
 		// is reported with rule-named diagnostics before any pass runs.

@@ -1,0 +1,76 @@
+package flowdata
+
+import "sort"
+
+// PartitionReport summarizes a multi-target (host fallback) compilation in
+// the analyze report: partition shape, cut-edge transfer volume, and the
+// modelled latency decomposition across the accelerator, the host CPU and
+// the host link.
+type PartitionReport struct {
+	Subgraphs int `json:"subgraphs"`
+	CIMNodes  int `json:"cim_nodes"`
+	HostNodes int `json:"host_nodes"`
+	// Transfers counts the cut edges; TransferElems their total tensor
+	// element volume crossing the host link.
+	Transfers     int   `json:"transfers"`
+	TransferElems int64 `json:"transfer_elems"`
+	// HostOps is the scalar-operation estimate across host subgraphs.
+	HostOps int64 `json:"host_ops"`
+	// The latency decomposition summing to the aggregate report cycles.
+	CIMCycles      float64 `json:"cim_cycles"`
+	HostCycles     float64 `json:"host_cycles"`
+	TransferCycles float64 `json:"transfer_cycles"`
+}
+
+// MergeReports folds the per-subgraph flow reports of a partitioned
+// compilation into one aggregate: counts and volumes sum, liveness peaks
+// max (subgraphs execute sequentially, never concurrently), and the op-count
+// and pressure tables merge by key in their canonical orders.
+func MergeReports(model, archName, level string, parts []Report) Report {
+	out := Report{Model: model, Arch: archName, Level: level}
+	opCounts := map[string]int{}
+	pressure := map[string]int64{}
+	for _, p := range parts {
+		out.Truncated = out.Truncated || p.Truncated
+		out.Problems += p.Problems
+		out.MOPs.CIM += p.MOPs.CIM
+		out.MOPs.DCOM += p.MOPs.DCOM
+		out.MOPs.DMOV += p.MOPs.DMOV
+		out.MOPs.Parallel += p.MOPs.Parallel
+		out.MOPs.Total += p.MOPs.Total
+		for _, oc := range p.OpCounts {
+			opCounts[oc.Op] += oc.Count
+		}
+		out.TransferWords += p.TransferWords
+		out.LayoutWords += p.LayoutWords
+		out.ScratchWords += p.ScratchWords
+		if p.PeakLiveScratchWords > out.PeakLiveScratchWords {
+			out.PeakLiveScratchWords = p.PeakLiveScratchWords
+		}
+		if p.PeakLiveRegions > out.PeakLiveRegions {
+			out.PeakLiveRegions = p.PeakLiveRegions
+		}
+		if p.PeakLiveCrossbars > out.PeakLiveCrossbars {
+			out.PeakLiveCrossbars = p.PeakLiveCrossbars
+		}
+		out.DeadMOPs += p.DeadMOPs
+		out.RedundantTransfers += p.RedundantTransfers
+		for _, pb := range p.Pressure {
+			pressure[pb.Bucket] += pb.Instrs
+		}
+	}
+	names := make([]string, 0, len(opCounts))
+	for n := range opCounts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out.OpCounts = append(out.OpCounts, OpCount{Op: n, Count: opCounts[n]})
+	}
+	for _, b := range PressureBuckets {
+		if n, ok := pressure[b]; ok {
+			out.Pressure = append(out.Pressure, PressureBin{Bucket: b, Instrs: n})
+		}
+	}
+	return out
+}

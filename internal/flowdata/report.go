@@ -36,6 +36,12 @@ type Report struct {
 	RedundantTransfers   int   `json:"redundant_transfers"`
 
 	Pressure []PressureBin `json:"live_range_pressure"`
+
+	// Partition is set for multi-target (host fallback) compilations: the
+	// partition shape, the cut-edge transfer volume and the latency
+	// decomposition. Nil — and absent from the JSON, keeping monolithic
+	// goldens byte-identical — for single-target compilations.
+	Partition *PartitionReport `json:"partition,omitempty"`
 }
 
 // MOPCounts tallies the flow's operators by meta-operator class.

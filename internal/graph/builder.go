@@ -149,6 +149,25 @@ func (b *Builder) LayerNorm() *Builder {
 	return b
 }
 
+// Sigmoid appends a host-only logistic activation.
+func (b *Builder) Sigmoid() *Builder {
+	b.Last = b.G.AddNode(b.autoName("sigmoid"), OpSigmoid, []int{b.Last}, Attr{}, nil)
+	return b
+}
+
+// Tanh appends a host-only hyperbolic-tangent activation.
+func (b *Builder) Tanh() *Builder {
+	b.Last = b.G.AddNode(b.autoName("tanh"), OpTanh, []int{b.Last}, Attr{}, nil)
+	return b
+}
+
+// MulFrom appends a host-only elementwise product joining the last node with
+// `other` (gating connections).
+func (b *Builder) MulFrom(other int) *Builder {
+	b.Last = b.G.AddNode(b.autoName("mul"), OpMul, []int{b.Last, other}, Attr{}, nil)
+	return b
+}
+
 // AddFrom appends an elementwise Add joining the last node with `other`
 // (residual connections).
 func (b *Builder) AddFrom(other int) *Builder {

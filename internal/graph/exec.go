@@ -47,13 +47,26 @@ func Execute(g *Graph, w Weights, inputs map[int]*tensor.Tensor) (map[int]*tenso
 	}
 	vals := make(map[int]*tensor.Tensor, len(g.Nodes))
 	for _, n := range g.Nodes {
-		out, err := executeNode(g, n, w, inputs, vals)
+		out, err := ExecNode(g, n, w, inputs, vals)
 		if err != nil {
-			return nil, fmt.Errorf("graph %q: node %q (%s): %w", g.Name, n.Name, n.Op, err)
+			return nil, err
 		}
 		vals[n.ID] = out
 	}
 	return vals, nil
+}
+
+// ExecNode evaluates one node with the reference kernels, reading operand
+// tensors from vals (and Input tensors from inputs). It is the single-step
+// form of Execute: internal/hostexec drives it in topological order without
+// re-running shape inference, so concurrent executions over a shared,
+// already-inferred graph never write to it.
+func ExecNode(g *Graph, n *Node, w Weights, inputs, vals map[int]*tensor.Tensor) (*tensor.Tensor, error) {
+	out, err := executeNode(g, n, w, inputs, vals)
+	if err != nil {
+		return nil, fmt.Errorf("graph %q: node %q (%s): %w", g.Name, n.Name, n.Op, err)
+	}
+	return out, nil
 }
 
 func executeNode(g *Graph, n *Node, w Weights, inputs, vals map[int]*tensor.Tensor) (*tensor.Tensor, error) {
@@ -122,6 +135,12 @@ func executeNode(g *Graph, n *Node, w Weights, inputs, vals map[int]*tensor.Tens
 		return tensor.LayerNorm(in[0], nil, nil, n.Attr.Eps)
 	case OpIdentity:
 		return in[0].Clone(), nil
+	case OpSigmoid:
+		return tensor.Sigmoid(in[0]), nil
+	case OpTanh:
+		return tensor.Tanh(in[0]), nil
+	case OpMul:
+		return tensor.Mul(in[0], in[1])
 	}
 	return nil, fmt.Errorf("unknown op %q", n.Op)
 }

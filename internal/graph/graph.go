@@ -39,6 +39,14 @@ const (
 	OpLayerNorm     Op = "LayerNorm"
 	OpIdentity      Op = "Identity"
 	OpTranspose     Op = "Transpose" // 2-D transpose (attention K^T)
+
+	// Host-only operators: no CIM lowering exists for them (no crossbar
+	// mapping and no digital-ALU meta-operator), so they execute on the host
+	// CPU via internal/hostexec. Compiling a graph that contains one requires
+	// cimmlc.WithHostFallback, which partitions the graph around them.
+	OpSigmoid Op = "Sigmoid"
+	OpTanh    Op = "Tanh"
+	OpMul     Op = "Mul" // elementwise product (gating)
 )
 
 // CIMSupported reports whether the operator owns a static weight matrix that
@@ -56,6 +64,42 @@ func (o Op) Digital() bool {
 	}
 	return false
 }
+
+// HostOnly reports whether the operator has no CIM lowering at all — neither
+// a crossbar mapping nor a digital-ALU meta-operator — and must execute on
+// the host CPU. Graphs containing host-only operators compile only under
+// host fallback, which partitions them around the accelerator.
+func (o Op) HostOnly() bool {
+	switch o {
+	case OpSigmoid, OpTanh, OpMul:
+		return true
+	}
+	return false
+}
+
+// CIMLowerableOps lists every operator the CIM pipeline can lower (all known
+// ops except the host-only ones), sorted — the "supported op set" quoted by
+// the unsupported-op compile error.
+func CIMLowerableOps() []Op {
+	ops := []Op{
+		OpInput, OpConv, OpDense, OpMatMul, OpReLU, OpGELU, OpMaxPool,
+		OpAvgPool, OpGlobalAvgPool, OpAdd, OpConcat, OpFlatten, OpSoftmax,
+		OpLayerNorm, OpIdentity, OpTranspose,
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	return ops
+}
+
+// Target names the execution target a node is assigned to by the
+// partitioning pass: the CIM accelerator or the host CPU. The empty string
+// means "not yet assigned" (a monolithic, unpartitioned compilation).
+type Target string
+
+// Execution targets.
+const (
+	TargetCIM  Target = "cim"
+	TargetHost Target = "host"
+)
 
 // Attr carries the per-operator attributes. Zero values mean "not
 // applicable"; Validate for each op checks the fields it needs.
@@ -78,6 +122,10 @@ type Node struct {
 	Attr        Attr   `json:"attr"`
 	WeightShape []int  `json:"weight_shape,omitempty"`
 	OutShape    []int  `json:"out_shape,omitempty"`
+	// Target is the execution-target annotation written by the partitioning
+	// pass (internal/partition); empty on unpartitioned graphs, so the JSON
+	// encoding of monolithic graphs is unchanged.
+	Target Target `json:"target,omitempty"`
 }
 
 // Graph is a DAG of operator nodes. Nodes must be stored in a valid
@@ -179,6 +227,9 @@ func (n *Node) validateArity() error {
 		OpLayerNorm:     {1, 1},
 		OpIdentity:      {1, 1},
 		OpTranspose:     {1, 1},
+		OpSigmoid:       {1, 1},
+		OpTanh:          {1, 1},
+		OpMul:           {2, 2},
 	}
 	a, ok := arity[n.Op]
 	if !ok {
@@ -268,6 +319,19 @@ func (g *Graph) CIMNodeIDs() []int {
 	var out []int
 	for _, n := range g.Nodes {
 		if n.Op.CIMSupported() {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// HostOnlyNodeIDs returns the IDs of all host-only nodes (operators without
+// a CIM lowering) in topological order. An empty result means the graph is
+// fully CIM-lowerable and compiles monolithically.
+func (g *Graph) HostOnlyNodeIDs() []int {
+	var out []int
+	for _, n := range g.Nodes {
+		if n.Op.HostOnly() {
 			out = append(out, n.ID)
 		}
 	}

@@ -41,7 +41,7 @@ func (g *Graph) inferNode(n *Node) ([]int, error) {
 		return inferDense(in[0], n)
 	case OpMatMul:
 		return inferMatMul(in[0], in[1])
-	case OpReLU, OpGELU, OpSoftmax, OpLayerNorm, OpIdentity:
+	case OpReLU, OpGELU, OpSoftmax, OpLayerNorm, OpIdentity, OpSigmoid, OpTanh:
 		return cloneShape(in[0]), nil
 	case OpMaxPool, OpAvgPool:
 		return inferPool(in[0], n)
@@ -50,9 +50,9 @@ func (g *Graph) inferNode(n *Node) ([]int, error) {
 			return nil, fmt.Errorf("GlobalAvgPool needs [C,H,W], got %v", in[0])
 		}
 		return []int{in[0][0]}, nil
-	case OpAdd:
+	case OpAdd, OpMul:
 		if !equalShape(in[0], in[1]) {
-			return nil, fmt.Errorf("Add shape mismatch %v vs %v", in[0], in[1])
+			return nil, fmt.Errorf("%s shape mismatch %v vs %v", n.Op, in[0], in[1])
 		}
 		return cloneShape(in[0]), nil
 	case OpConcat:

@@ -1,0 +1,102 @@
+package irverify
+
+import (
+	"strings"
+	"testing"
+
+	"cimmlc/internal/graph"
+	"cimmlc/internal/partition"
+)
+
+func mixedPlan(t *testing.T) *partition.Plan {
+	t.Helper()
+	g := graph.NewBuilder("mixed", 32).
+		Dense(16).Sigmoid().Dense(8).
+		MustFinish()
+	p, err := partition.Partition(g, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func rules(vs []Violation) string {
+	var ss []string
+	for _, v := range vs {
+		ss = append(ss, v.Rule)
+	}
+	return strings.Join(ss, ",")
+}
+
+func TestVerifyPartitionClean(t *testing.T) {
+	if vs := VerifyPartition(mixedPlan(t)); len(vs) > 0 {
+		t.Fatalf("clean plan reported violations: %s", rules(vs))
+	}
+}
+
+func TestVerifyPartitionCoverage(t *testing.T) {
+	p := mixedPlan(t)
+	// Drop a node from its subgraph: coverage must flag it.
+	s := p.Subs[0]
+	s.NodeIDs = s.NodeIDs[:len(s.NodeIDs)-1]
+	vs := VerifyPartition(p)
+	if !strings.Contains(rules(vs), RulePartCoverage) {
+		t.Fatalf("missing node not flagged; got %s", rules(vs))
+	}
+}
+
+func TestVerifyPartitionTarget(t *testing.T) {
+	p := mixedPlan(t)
+	// Flip one node's annotation against its subgraph's target.
+	p.Graph.Nodes[p.Subs[0].NodeIDs[0]].Target = graph.TargetHost
+	vs := VerifyPartition(p)
+	if !strings.Contains(rules(vs), RulePartTarget) {
+		t.Fatalf("target mismatch not flagged; got %s", rules(vs))
+	}
+}
+
+func TestVerifyPartitionHostOnlyOnCIM(t *testing.T) {
+	p := mixedPlan(t)
+	// Claim the host subgraph is a CIM subgraph: its Sigmoid must be
+	// rejected from the accelerator.
+	for _, s := range p.Subs {
+		if s.Target == graph.TargetHost {
+			s.Target = graph.TargetCIM
+			for _, gid := range s.NodeIDs {
+				p.Graph.Nodes[gid].Target = graph.TargetCIM
+			}
+		}
+	}
+	vs := VerifyPartition(p)
+	if !strings.Contains(rules(vs), RulePartTarget) {
+		t.Fatalf("host-only op on CIM not flagged; got %s", rules(vs))
+	}
+}
+
+func TestVerifyPartitionCutEdges(t *testing.T) {
+	p := mixedPlan(t)
+	dropped := p.Transfers[0]
+	p.Transfers = p.Transfers[1:]
+	vs := VerifyPartition(p)
+	if !strings.Contains(rules(vs), RulePartCut) {
+		t.Fatalf("missing transfer not flagged; got %s", rules(vs))
+	}
+
+	p2 := mixedPlan(t)
+	dropped.Elems++
+	p2.Transfers = append(p2.Transfers, dropped)
+	vs = VerifyPartition(p2)
+	if !strings.Contains(rules(vs), RulePartCut) {
+		t.Fatalf("duplicate/wrong-volume transfer not flagged; got %s", rules(vs))
+	}
+}
+
+func TestVerifyPartitionLocalMap(t *testing.T) {
+	p := mixedPlan(t)
+	s := p.Subs[0]
+	delete(s.LocalOf, s.NodeIDs[0])
+	vs := VerifyPartition(p)
+	if !strings.Contains(rules(vs), RulePartLocal) {
+		t.Fatalf("broken local map not flagged; got %s", rules(vs))
+	}
+}

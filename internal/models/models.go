@@ -223,6 +223,32 @@ func ViTSmall() *graph.Graph { return vit("vit-small", 384, 12, 1536) }
 // sensitivity-study benchmark ("numerous matrices with a row size of 768").
 func ViTBase() *graph.Graph { return vit("vit-base", 768, 12, 3072) }
 
+// MLPSig returns a three-layer perceptron with sigmoid/tanh activations —
+// host-only operators with no CIM lowering, so the model compiles only under
+// host fallback and exercises alternating CIM/host partitions.
+func MLPSig() *graph.Graph {
+	return graph.NewBuilder("mlp-sig", 784).
+		Dense(256).Sigmoid().
+		Dense(128).Tanh().
+		Dense(10).
+		MustFinish()
+}
+
+// ConvGate returns a small convolutional network with a sigmoid gating
+// branch (conv → σ(conv) ⊙ conv, a simplified squeeze-style gate): a diamond
+// whose Mul join is host-only, exercising multi-input partition cuts.
+func ConvGate() *graph.Graph {
+	b := graph.NewBuilder("conv-gate", 3, 16, 16).
+		Conv(16, 3, 1, 1).ReLU()
+	trunk := b.Last
+	gate := b.Sigmoid().Last
+	b.Last = trunk
+	return b.MulFrom(gate).
+		Flatten().
+		Dense(10).
+		MustFinish()
+}
+
 var zoo = map[string]func() *graph.Graph{
 	"conv-relu": ConvReLU,
 	"mlp":       MLP,
@@ -240,7 +266,30 @@ var zoo = map[string]func() *graph.Graph{
 	"vit-tiny":  ViTTiny,
 	"vit-small": ViTSmall,
 	"vit-base":  ViTBase,
+	"mlp-sig":   MLPSig,
+	"conv-gate": ConvGate,
 }
+
+// mixed lists the zoo models containing host-only operators: they compile
+// only under host fallback, so the pure-CIM sweeps (full conformance goldens,
+// experiments) exclude them via MixedNames.
+var mixed = map[string]bool{
+	"mlp-sig":   true,
+	"conv-gate": true,
+}
+
+// MixedNames lists the zoo models that require host fallback (sorted).
+func MixedNames() []string {
+	names := make([]string, 0, len(mixed))
+	for n := range mixed {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Mixed reports whether the named zoo model contains host-only operators.
+func Mixed(name string) bool { return mixed[strings.ToLower(name)] }
 
 // Build returns a fresh copy of the named model graph. Names are
 // case-insensitive.

@@ -1,0 +1,40 @@
+package perfsim
+
+import "cimmlc/internal/arch"
+
+// Host-link cost model for partitioned (mixed CPU/CIM) execution. A transfer
+// crosses the accelerator boundary over the host link: a fixed
+// latency to set up the DMA plus a bandwidth term through the global buffer
+// and the on-chip core NoC.
+const (
+	// HostLinkLatencyCycles is the fixed per-transfer setup latency of the
+	// host↔accelerator link, in chip cycles.
+	HostLinkLatencyCycles = 200.0
+
+	// HostALUOpsPerCycle is the nominal host-CPU throughput, in scalar
+	// float operations per chip cycle, used to charge host subgraphs in
+	// the aggregate report (hostexec.Ops / HostALUOpsPerCycle).
+	HostALUOpsPerCycle = 8.0
+
+	transferBitsPerElem = 32 // host tensors are float32
+	flitBits            = 64 // core NoC flit width
+)
+
+// TransferCost returns the modelled cycle cost of moving elems tensor
+// elements across the accelerator boundary on arch a: fixed host-link
+// latency + global-buffer bandwidth + core-NoC injection.
+func TransferCost(a *arch.Arch, elems int64) float64 {
+	bits := float64(elems) * transferBitsPerElem
+	c := HostLinkLatencyCycles
+	if a.Chip.L0BW > 0 {
+		c += bits / a.Chip.L0BW
+	}
+	c += bits / flitBits * a.Chip.CoreNoCCost
+	return c
+}
+
+// HostComputeCycles converts a host scalar-operation count (hostexec.Ops)
+// into chip cycles for the aggregate report.
+func HostComputeCycles(ops int64) float64 {
+	return float64(ops) / HostALUOpsPerCycle
+}

@@ -183,6 +183,36 @@ func ReLU(t *Tensor) *Tensor {
 	return out
 }
 
+// Sigmoid applies the logistic function elementwise.
+func Sigmoid(t *Tensor) *Tensor {
+	out := t.Clone()
+	for i, v := range out.data {
+		out.data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	return out
+}
+
+// Tanh applies the hyperbolic tangent elementwise.
+func Tanh(t *Tensor) *Tensor {
+	out := t.Clone()
+	for i, v := range out.data {
+		out.data[i] = float32(math.Tanh(float64(v)))
+	}
+	return out
+}
+
+// Mul returns a*b elementwise for same-shaped tensors.
+func Mul(a, b *Tensor) (*Tensor, error) {
+	if !SameShape(a, b) {
+		return nil, fmt.Errorf("tensor: Mul shape mismatch %v vs %v", a.shape, b.shape)
+	}
+	out := a.Clone()
+	for i := range out.data {
+		out.data[i] *= b.data[i]
+	}
+	return out, nil
+}
+
 // Add returns a+b elementwise for same-shaped tensors.
 func Add(a, b *Tensor) (*Tensor, error) {
 	if !SameShape(a, b) {

@@ -31,6 +31,12 @@ type Program struct {
 	img   *funcsim.Image
 	outs  []int // the graph's output node IDs
 
+	// parts is non-nil for partitioned (multi-target) programs: the
+	// subprograms in execution order. img and fr are then nil — Run
+	// orchestrates the parts through a shared tensor environment instead of
+	// executing a single flow.
+	parts []*subprogram
+
 	workers int
 
 	pool       sync.Pool // of *funcsim.State
@@ -51,6 +57,11 @@ type ProgramStats struct {
 	// (tuned vs heuristic cycles); nil when the program was compiled without
 	// WithAutoTune. Treat it as read-only.
 	Tuning *TuningStats
+	// Partition summarizes the multi-target plan for partitioned programs
+	// (host fallback on a graph with host-only operators); nil for
+	// monolithic programs, including fully supported graphs compiled under
+	// WithHostFallback.
+	Partition *PartitionStats
 }
 
 // BuildOption configures Compiler.Build.
@@ -100,6 +111,9 @@ func (c *Compiler) Build(ctx context.Context, g *Graph, w Weights, opt CodegenOp
 	res, err := c.Compile(ctx, g)
 	if err != nil {
 		return nil, err
+	}
+	if res.Partition != nil {
+		return c.buildPartitioned(ctx, res, w, opt, cfg)
 	}
 	fr, err := c.Lower(ctx, g, res, opt)
 	if err != nil {
@@ -185,6 +199,12 @@ func (p *Program) run(ctx context.Context, inputs map[int]*Tensor, allNodes bool
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if p.parts != nil {
+		// allNodes has no meaning across targets (the deprecated one-shot
+		// wrappers never build partitioned programs); the orchestrator
+		// returns the graph outputs.
+		return p.runPartitioned(ctx, inputs)
 	}
 	st := p.getState()
 	defer p.pool.Put(st)
@@ -303,6 +323,12 @@ func (p *Program) RunBatch(ctx context.Context, reqs []map[int]*Tensor) ([]map[i
 // quantized reference executor (under the program's build-time calibration)
 // and within floatTol of the float reference.
 func (p *Program) Verify(ctx context.Context, inputs map[int]*Tensor, floatTol float64) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if p.parts != nil {
+		return p.verifyPartitioned(ctx, inputs, floatTol)
+	}
 	got, err := p.run(ctx, inputs, true)
 	if err != nil {
 		return err
@@ -331,6 +357,9 @@ func (p *Program) Stats() ProgramStats {
 	}
 	if p.res != nil {
 		st.Tuning = p.res.Tuning
+		if p.res.Partition != nil {
+			st.Partition = partitionStats(p.res)
+		}
 	}
 	return st
 }

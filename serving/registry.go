@@ -49,6 +49,14 @@ func WithBuildOptions(opts ...cimmlc.BuildOption) RegistryOption {
 	return func(r *Registry) { r.buildOpts = append(r.buildOpts, opts...) }
 }
 
+// WithHostFallback makes every compiler the registry creates partition
+// mixed graphs (cimmlc.WithHostFallback), so models with host-only
+// operators are servable. Fully-supported models still compile
+// monolithically, bit-identical to a registry without the option.
+func WithHostFallback() RegistryOption {
+	return func(r *Registry) { r.compilerOpts = append(r.compilerOpts, cimmlc.WithHostFallback()) }
+}
+
 // WithAutoTune makes every compiler the registry creates run the schedule
 // autotuner (cimmlc.WithAutoTune) under budget b, so each (model, arch)
 // Program is tuned exactly once — on its first Get — and every later request

@@ -192,19 +192,21 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
 // schedule, placement, flow, or simulated report. internal/core is excluded
 // on purpose — its trace hooks legitimately measure pass wall time.
 var deterministicPkgs = map[string]bool{
-	"cimmlc/internal/sched":    true,
-	"cimmlc/internal/codegen":  true,
-	"cimmlc/internal/tuner":    true,
-	"cimmlc/internal/perfsim":  true,
-	"cimmlc/internal/cg":       true,
-	"cimmlc/internal/mvm":      true,
-	"cimmlc/internal/vvm":      true,
-	"cimmlc/internal/mapping":  true,
-	"cimmlc/internal/cost":     true,
-	"cimmlc/internal/funcsim":  true,
-	"cimmlc/internal/irverify": true,
-	"cimmlc/internal/flowdata": true,
-	"cimmlc/internal/flowopt":  true,
+	"cimmlc/internal/sched":     true,
+	"cimmlc/internal/codegen":   true,
+	"cimmlc/internal/tuner":     true,
+	"cimmlc/internal/perfsim":   true,
+	"cimmlc/internal/cg":        true,
+	"cimmlc/internal/mvm":       true,
+	"cimmlc/internal/vvm":       true,
+	"cimmlc/internal/mapping":   true,
+	"cimmlc/internal/cost":      true,
+	"cimmlc/internal/funcsim":   true,
+	"cimmlc/internal/irverify":  true,
+	"cimmlc/internal/flowdata":  true,
+	"cimmlc/internal/flowopt":   true,
+	"cimmlc/internal/partition": true,
+	"cimmlc/internal/hostexec":  true,
 }
 
 // pkgNameOf resolves an identifier to the package it names, or nil.
