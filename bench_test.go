@@ -2,6 +2,7 @@ package cimmlc
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"cimmlc/internal/arch"
@@ -190,6 +191,31 @@ func BenchmarkProgramRunBatch(b *testing.B) {
 		if _, err := p.RunBatch(ctx, reqs); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkProgramRunBatchSizes sweeps the micro-batch width on a single
+// worker, so each batch forms exactly one group on the compiled kernels:
+// ns/op is per-request cost, which should fall as the batch widens (until
+// the lane budget splits the batch). Distinct inputs defeat any
+// memoization and match the serving mix.
+func BenchmarkProgramRunBatchSizes(b *testing.B) {
+	ctx := context.Background()
+	_, _, _, _, p := buildToyProgram(b, WithWorkers(1))
+	for _, batch := range []int{1, 2, 4, 8, 16} {
+		reqs := make([]map[int]*Tensor, batch)
+		for i := range reqs {
+			in := NewTensor(3, 32, 32)
+			in.Rand(uint64(4000+i), 1)
+			reqs[i] = map[int]*Tensor{0: in}
+		}
+		b.Run(fmt.Sprintf("batch-%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i += batch {
+				if _, err := p.RunBatch(ctx, reqs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

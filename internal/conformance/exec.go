@@ -27,6 +27,9 @@ import (
 //   - the deprecated one-shot Compiler.Run (compared on the calibration
 //     request — it re-calibrates on its inputs by design)
 //   - Program.RunBatch across a worker pool, all requests at once
+//   - Program.RunBatch on a widened batch that forces the batched kernel
+//     path (micro-batches on the precompiled closures), with the program's
+//     counters proving the batched path served every request
 //   - a serving.Batcher flushed by concurrent client goroutines
 //   - HTTP POST /v1/run against the gateway with JSON tensors
 //
@@ -165,6 +168,31 @@ func runExecBattery(ctx context.Context, c *cimmlc.Compiler, g *cimmlc.Graph, a 
 				violations = append(violations, fmt.Sprintf("%s: RunBatch #%d request %d diverges: %s", key, b, i, d))
 				break
 			}
+		}
+	}
+
+	// Batched kernel path: replicate the seeded requests until every worker
+	// gets at least two lanes per micro-batch, then demand (a) the program's
+	// counters prove the compiled-kernel path served the entire batch — no
+	// silent per-request fallback — and (b) every lane is bit-identical to
+	// the reference.
+	wide := make([]map[int]*cimmlc.Tensor, 0, 4*len(reqs))
+	for r := 0; r < 4; r++ {
+		wide = append(wide, reqs...)
+	}
+	bBefore := p.Stats()
+	wideOuts, err := p.RunBatch(ctx, wide)
+	if err != nil {
+		violations = append(violations, fmt.Sprintf("%s: batched RunBatch: %v", key, err))
+	} else {
+		for i := range wide {
+			if d := firstOutputDiff(wideOuts[i], base[i%len(reqs)]); d != "" {
+				violations = append(violations, fmt.Sprintf("%s: batched RunBatch request %d diverges: %s", key, i, d))
+				break
+			}
+		}
+		if got := p.Stats().BatchedRequests - bBefore.BatchedRequests; got != uint64(len(wide)) {
+			violations = append(violations, fmt.Sprintf("%s: batched RunBatch served %d of %d requests on the compiled-kernel path", key, got, len(wide)))
 		}
 	}
 

@@ -1,0 +1,914 @@
+package funcsim
+
+import (
+	"fmt"
+	"math"
+
+	"cimmlc/internal/graph"
+	"cimmlc/internal/mop"
+	"cimmlc/internal/tensor"
+)
+
+// This file is the batched execution mode: instead of interpreting the
+// meta-operator flow once per request, an Image precompiles the flow body
+// into kernel closures (CompileBody), and a BatchState carries a whole
+// micro-batch of activations — its buffer memory gains a leading batch
+// dimension, one lane per request. Each kernel then makes ONE pass over the
+// crossbar's reconstructed-weight cache (or reconstructs the cell slices
+// once) and streams every lane through it, the amortization stationary
+// weights exist for: per-MOP dispatch, address→node resolution, window
+// gather geometry, requantization tables and quantization-domain bookkeeping
+// are all paid once per micro-batch instead of once per request.
+//
+// The bookkeeping that can be shared is shared because it is lane-invariant:
+// every lane runs the same flow against the same image, so region scales,
+// raw/settled flags, and the crossbar cell arrays (weights are a function of
+// the image, never of activations) evolve identically across lanes. Only the
+// activation words themselves differ per lane. Lane arithmetic is exactly
+// the per-request arithmetic (same quantizers, same clamping, same float32
+// rounding), so batched outputs are bit-identical to sequential Run — only
+// integer accumulation order inside one MVM may differ, which is exact.
+
+// CompiledFlow is a flow body precompiled against one Image: the flattened
+// operator list as specialized kernel closures, with static operands
+// (addresses, shapes, node regions, dispatch) resolved at compile time.
+// A CompiledFlow is immutable and safe for concurrent use; each execution
+// supplies its own BatchState.
+type CompiledFlow struct {
+	img     *Image
+	kernels []kernel
+	ops     []mop.Op // flattened, parallel groups inlined; for error text
+
+	// tiles caches per-op transposed weight tiles built at compile time, so
+	// the hundreds of readxb ops sweeping one crossbar share a single tile.
+	tiles map[tileKey]readTile
+}
+
+// tileKey identifies a read op's weight tile: crossbar plus row range.
+type tileKey struct{ xb, row, nrows int }
+
+// readTile is a read op's weight tile transposed to column-major (nWCols
+// runs of nrows weights, contiguous per weight column). It aliases the
+// image's frozen weights, so kernels may use it only while the crossbar
+// still shares the image's cells (st.cellShared); bodies that reprogram the
+// crossbar take the generic batched path instead.
+type readTile struct {
+	wT     []int64
+	nWCols int
+}
+
+// Ops returns the number of compiled (leaf) kernels.
+func (cf *CompiledFlow) Ops() int { return len(cf.kernels) }
+
+// tile returns the transposed weight tile for a read op, building it on first
+// use. A zero tile (wT == nil) means the tile cannot be precomputed — the
+// crossbar is not programmed at image baseline — and the kernel must take the
+// generic path.
+func (cf *CompiledFlow) tile(img *Image, xb, row, nrows int) readTile {
+	key := tileKey{xb, row, nrows}
+	if t, ok := cf.tiles[key]; ok {
+		return t
+	}
+	t := img.transposedTile(xb, row, nrows)
+	if cf.tiles == nil {
+		cf.tiles = make(map[tileKey]readTile)
+	}
+	cf.tiles[key] = t
+	return t
+}
+
+// transposedTile builds the column-major weight tile for rows [row, row+nrows)
+// of crossbar xb from the image's frozen weight cache: wT[j·nrows+i] is weight
+// column j's entry for activation row i, so the MVM inner loop walks one
+// contiguous run per output column. Returns a zero tile when the crossbar is
+// not programmed at image baseline (its weights are only known at run time).
+func (img *Image) transposedTile(xb, row, nrows int) readTile {
+	if img.baseWeights == nil || xb < 0 || xb >= len(img.baseWeights) || img.baseWeights[xb] == nil {
+		return readTile{}
+	}
+	p := img.baseProg[xb]
+	if p.node < 0 || nrows <= 0 || row < 0 || row+nrows > p.rows {
+		return readTile{}
+	}
+	s := img.a.CellsPerWeight()
+	nWCols := p.cols / s
+	nWAll := img.a.XB.Cols / s
+	wc := img.baseWeights[xb]
+	wT := make([]int64, nWCols*nrows)
+	for i := 0; i < nrows; i++ {
+		off := (row + i) * nWAll
+		for j := 0; j < nWCols; j++ {
+			wT[j*nrows+i] = wc[off+j]
+		}
+	}
+	return readTile{wT: wT, nWCols: nWCols}
+}
+
+type kernel func(bm *BatchMachine) error
+
+// BatchState is the mutable residue of one micro-batch: per-lane activation
+// memory (lane-major: lane l owns words [l·stride, (l+1)·stride)), plus the
+// lane-invariant crossbar view and quantization-domain bookkeeping shared by
+// every lane. A BatchState is owned by one execution at a time and is
+// recycled with Image.ResetBatch.
+type BatchState struct {
+	lanes  int
+	stride int64
+	mem    []int64 // lanes × stride, lane-major
+
+	// Crossbar view, shared across lanes (weights never depend on lane
+	// data); copy-on-write against the image exactly like State.
+	cells      [][]uint8
+	cellShared []bool
+	prog       []xbProg
+
+	// Lane-invariant region bookkeeping (see package comment above).
+	regionScale []float64
+	regionRaw   []bool
+
+	// Reusable scratch, grown on demand.
+	colSums []int64 // per-weight-column accumulators
+	plan    []int64 // window-gather index plan (-1 = zero padding)
+	table   []int64 // requantization lookup table
+	wrecon  []int64 // per-op reconstructed weights (COW-broken crossbars)
+}
+
+// Lanes returns the micro-batch size the state currently holds.
+func (st *BatchState) Lanes() int { return st.lanes }
+
+func (st *BatchState) lane(l int) []int64 {
+	off := int64(l) * st.stride
+	return st.mem[off : off+st.stride : off+st.stride]
+}
+
+func (st *BatchState) colSumsBuf(n int) []int64 {
+	if cap(st.colSums) < n {
+		st.colSums = make([]int64, n)
+	}
+	return st.colSums[:n]
+}
+
+func (st *BatchState) planBuf(n int) []int64 {
+	if cap(st.plan) < n {
+		st.plan = make([]int64, n)
+	}
+	return st.plan[:n]
+}
+
+func (st *BatchState) tableBuf(n int64) []int64 {
+	if int64(cap(st.table)) < n {
+		st.table = make([]int64, n)
+	}
+	return st.table[:n]
+}
+
+func (st *BatchState) wreconBuf(n int) []int64 {
+	if cap(st.wrecon) < n {
+		st.wrecon = make([]int64, n)
+	}
+	return st.wrecon[:n]
+}
+
+// NewBatchState allocates a micro-batch execution state with the given
+// number of lanes, reset against the image.
+func (img *Image) NewBatchState(lanes int) *BatchState {
+	st := &BatchState{
+		cells:       make([][]uint8, len(img.baseCells)),
+		cellShared:  make([]bool, len(img.baseCells)),
+		prog:        make([]xbProg, len(img.baseProg)),
+		regionScale: make([]float64, len(img.g.Nodes)),
+		regionRaw:   make([]bool, len(img.g.Nodes)),
+	}
+	img.ResetBatch(st, lanes)
+	return st
+}
+
+// ResetBatch recycles st for a new micro-batch of `lanes` requests: lane
+// memory is zeroed (grown when the batch is wider than any before),
+// bookkeeping cleared, and the crossbar view re-pointed at the image's
+// programmed cells.
+func (img *Image) ResetBatch(st *BatchState, lanes int) {
+	st.stride = img.lay.Total
+	st.lanes = lanes
+	need := int64(lanes) * st.stride
+	if int64(cap(st.mem)) < need {
+		st.mem = make([]int64, need)
+	} else {
+		st.mem = st.mem[:need]
+		clear(st.mem)
+	}
+	clear(st.regionScale)
+	clear(st.regionRaw)
+	copy(st.prog, img.baseProg)
+	for i, c := range img.baseCells {
+		st.cells[i] = c
+		st.cellShared[i] = c != nil
+	}
+}
+
+// BatchMachine binds an Image to one BatchState for a micro-batch execution.
+type BatchMachine struct {
+	img *Image
+	st  *BatchState
+}
+
+// ExecBatch binds st to the image for one micro-batch execution. The caller
+// must not use st with two machines at once.
+func (img *Image) ExecBatch(st *BatchState) *BatchMachine {
+	return &BatchMachine{img: img, st: st}
+}
+
+// LoadInputs quantizes one request's input tensors into the given lane,
+// exactly as Machine.LoadInputs does for a single-request State.
+func (bm *BatchMachine) LoadInputs(lane int, inputs map[int]*tensor.Tensor) error {
+	img, st := bm.img, bm.st
+	if lane < 0 || lane >= st.lanes {
+		return fmt.Errorf("funcsim: lane %d out of range (%d lanes)", lane, st.lanes)
+	}
+	lm := st.lane(lane)
+	for _, id := range sortedTensorKeys(inputs) {
+		t := inputs[id]
+		q, ok := img.actScale[id]
+		if !ok {
+			return fmt.Errorf("funcsim: input for unknown node %d", id)
+		}
+		if id < 0 || id >= len(img.base) || img.base[id] < 0 {
+			return fmt.Errorf("funcsim: input node %d has no buffer region", id)
+		}
+		base := img.base[id]
+		qv, err := tensor.Quantize(t, q)
+		if err != nil {
+			return err
+		}
+		if int64(len(qv)) != img.size[id] {
+			return fmt.Errorf("funcsim: input for node %d has %d elements, region holds %d", id, len(qv), img.size[id])
+		}
+		for i, v := range qv {
+			lm[base+int64(i)] = int64(v)
+		}
+		// Lane-invariant: every lane loads the same node set under the same
+		// calibrated quantizer.
+		st.regionScale[id] = float64(q.Scale)
+		st.regionRaw[id] = false
+	}
+	return nil
+}
+
+// RunBody executes the compiled flow over every lane of the batch.
+func (bm *BatchMachine) RunBody(cf *CompiledFlow) error {
+	if cf.img != bm.img {
+		return fmt.Errorf("funcsim: compiled flow belongs to a different image")
+	}
+	for i, k := range cf.kernels {
+		if err := k(bm); err != nil {
+			return fmt.Errorf("funcsim: batch op %d (%s): %w", i, cf.ops[i], err)
+		}
+	}
+	return nil
+}
+
+// SettleAll requantizes every raw region across all lanes (used before
+// extracting outputs).
+func (bm *BatchMachine) SettleAll() {
+	for _, n := range bm.img.g.Nodes {
+		bm.settleNode(n.ID)
+	}
+}
+
+// TensorsOf returns one lane's dequantized float tensors for the given node
+// IDs — the per-lane analogue of Machine.TensorsOf.
+func (bm *BatchMachine) TensorsOf(lane int, ids []int) map[int]*tensor.Tensor {
+	img, st := bm.img, bm.st
+	lm := st.lane(lane)
+	out := make(map[int]*tensor.Tensor, len(ids))
+	for _, id := range ids {
+		n := img.g.MustNode(id)
+		base, size := img.base[id], img.size[id]
+		t := tensor.New(n.OutShape...)
+		scale := st.regionScale[id]
+		if scale == 0 {
+			scale = float64(img.actScale[id].Scale)
+		}
+		data := t.Data()
+		for i, v := range lm[base : base+size] {
+			data[i] = float32(float64(v) * scale)
+		}
+		out[id] = t
+	}
+	return out
+}
+
+// settleNode requantizes one raw CIM accumulator region into the node's
+// activation domain across every lane. The scale transition is recorded once
+// — it is lane-invariant.
+func (bm *BatchMachine) settleNode(node int) {
+	img, st := bm.img, bm.st
+	if node < 0 || !st.regionRaw[node] {
+		return
+	}
+	raw := st.regionScale[node]
+	q := img.actScale[node]
+	base, size := img.base[node], img.size[node]
+	maxQ := int64(q.MaxQ())
+	scale := float64(q.Scale)
+	for l := 0; l < st.lanes; l++ {
+		lm := st.lane(l)
+		for i := base; i < base+size; i++ {
+			f := float64(lm[i]) * raw
+			v := int64(math.RoundToEven(f / scale))
+			if v > maxQ {
+				v = maxQ
+			}
+			if v < -maxQ {
+				v = -maxQ
+			}
+			lm[i] = v
+		}
+	}
+	st.regionScale[node] = scale
+	st.regionRaw[node] = false
+}
+
+// markCIMOutput mirrors Machine.markCIMOutput on the shared bookkeeping.
+func (bm *BatchMachine) markCIMOutput(node int) {
+	img, st := bm.img, bm.st
+	if st.regionRaw[node] {
+		return
+	}
+	n := img.g.MustNode(node)
+	in := n.Inputs[0]
+	inScale := st.regionScale[in]
+	if inScale == 0 {
+		inScale = float64(img.actScale[in].Scale)
+	}
+	st.regionScale[node] = float64(img.wScale[node].Scale) * inScale
+	st.regionRaw[node] = true
+}
+
+// regionTensor dequantizes one lane's (settled) region into a float tensor.
+func (bm *BatchMachine) regionTensor(lane, node int) *tensor.Tensor {
+	img, st := bm.img, bm.st
+	n := img.g.MustNode(node)
+	base, size := img.base[node], img.size[node]
+	lm := st.lane(lane)
+	t := tensor.New(n.OutShape...)
+	scale := st.regionScale[node]
+	if scale == 0 {
+		scale = float64(img.actScale[node].Scale)
+	}
+	for i := int64(0); i < size; i++ {
+		t.Data()[i] = float32(float64(lm[base+i]) * scale)
+	}
+	return t
+}
+
+// CompileBody precompiles a flow's compute section into per-operator kernel
+// closures specialized on op, shape and precision: parallel groups are
+// flattened, buffer addresses are resolved to node regions, window-gather
+// geometry generators and destination strides are fixed, and all statically
+// checkable operands are validated here so the batch hot loop carries no
+// dispatch or resolution work. Call after ProgramInit.
+func (img *Image) CompileBody(body []mop.Op) (*CompiledFlow, error) {
+	cf := &CompiledFlow{img: img}
+	if err := img.compileOps(body, cf); err != nil {
+		return nil, err
+	}
+	return cf, nil
+}
+
+func (img *Image) compileOps(ops []mop.Op, cf *CompiledFlow) error {
+	for _, op := range ops {
+		if par, ok := op.(mop.Parallel); ok {
+			// The scalar interpreter executes parallel bodies in order;
+			// flattening preserves that order exactly.
+			if err := img.compileOps(par.Body, cf); err != nil {
+				return err
+			}
+			continue
+		}
+		k, err := img.compileOp(op, cf)
+		if err != nil {
+			return fmt.Errorf("funcsim: compile %s: %w", op, err)
+		}
+		cf.kernels = append(cf.kernels, k)
+		cf.ops = append(cf.ops, op)
+	}
+	return nil
+}
+
+func (img *Image) compileOp(op mop.Op, cf *CompiledFlow) (kernel, error) {
+	switch o := op.(type) {
+	case mop.WriteXB:
+		return img.compileWrite(o.XB, 0, o.Node, o.CellRowOff, o.CellColOff, o.Rows, o.Cols)
+	case mop.WriteRow:
+		return img.compileWrite(o.XB, o.Row, o.Node, o.CellRowOff, o.CellColOff, o.NumRows, o.Cols)
+	case mop.ReadXB:
+		if o.XB < 0 || o.XB >= len(img.baseCells) {
+			return nil, fmt.Errorf("crossbar %d out of range", o.XB)
+		}
+		srcNode := img.nodeAt(o.Src)
+		dstNode := img.nodeAt(o.Dst)
+		rows := img.baseProg[o.XB].rows
+		tile := cf.tile(img, o.XB, 0, rows)
+		return func(bm *BatchMachine) error {
+			if tile.wT != nil && bm.st.cellShared[o.XB] {
+				return bm.readRowsT(rows, tile, o.Src, o.Dst, o.DstStride, o.Acc, srcNode, dstNode)
+			}
+			p := &bm.st.prog[o.XB]
+			if p.node < 0 {
+				return fmt.Errorf("readxb on unprogrammed crossbar %d", o.XB)
+			}
+			return bm.readRows(o.XB, 0, p.rows, o.Src, o.Dst, o.DstStride, o.Acc, srcNode, dstNode)
+		}, nil
+	case mop.ReadRow:
+		if o.XB < 0 || o.XB >= len(img.baseCells) {
+			return nil, fmt.Errorf("crossbar %d out of range", o.XB)
+		}
+		if o.NumRows > img.a.XB.ParallelRow {
+			return nil, fmt.Errorf("readrow activates %d rows but parallel_row is %d", o.NumRows, img.a.XB.ParallelRow)
+		}
+		srcNode := img.nodeAt(o.Src)
+		dstNode := img.nodeAt(o.Dst)
+		tile := cf.tile(img, o.XB, o.Row, o.NumRows)
+		return func(bm *BatchMachine) error {
+			if tile.wT != nil && bm.st.cellShared[o.XB] {
+				return bm.readRowsT(o.NumRows, tile, o.Src, o.Dst, o.DstStride, o.Acc, srcNode, dstNode)
+			}
+			return bm.readRows(o.XB, o.Row, o.NumRows, o.Src, o.Dst, o.DstStride, o.Acc, srcNode, dstNode)
+		}, nil
+	case mop.ReadCore:
+		return img.compileReadCore(o)
+	case mop.Mov:
+		return img.compileMov(o)
+	case mop.MovWindow:
+		return img.compileMovWindow(o)
+	case mop.Dcom:
+		return img.compileDcom(o)
+	}
+	return nil, fmt.Errorf("unknown op type %T", op)
+}
+
+func (img *Image) compileWrite(xb, rowStart, node, cellRowOff, cellColOff, rows, cols int) (kernel, error) {
+	if _, ok := img.qweights[node]; !ok {
+		return nil, fmt.Errorf("no quantized weights for node %d", node)
+	}
+	// Weight programming is lane-invariant: the tile is written once to the
+	// shared crossbar view, amortizing reprogramming (multi-round flows)
+	// across the whole micro-batch.
+	return func(bm *BatchMachine) error {
+		st := bm.st
+		return writeTileInto(bm.img, st.cells, st.cellShared, st.prog, xb, rowStart, node, cellRowOff, cellColOff, rows, cols)
+	}, nil
+}
+
+// readRowsT is the batched analog MVM over a compile-time transposed weight
+// tile: each output column is a register-accumulated, branchless dot product
+// over one contiguous run of wT, so no per-column accumulator array travels
+// through memory. Valid only while the crossbar still aliases the image's
+// cells (the caller checks st.cellShared); integer partial sums reassociate
+// exactly, so results are bit-identical to readRows.
+func (bm *BatchMachine) readRowsT(nrows int, tile readTile, src, dst, stride int64, acc bool, srcNode, dstNode int) error {
+	st := bm.st
+	bm.settleNode(srcNode)
+	wT, nWCols := tile.wT, tile.nWCols
+	// Lane-blocked: four lanes share each weight load, so the tile streams
+	// through the cache once per block instead of once per lane, and the four
+	// accumulator chains are independent. Per-lane sums still add rows in
+	// ascending order — integer-exact, so bit-identical to the scalar path.
+	l := 0
+	for ; l+3 < st.lanes; l += 4 {
+		lm0, lm1, lm2, lm3 := st.lane(l), st.lane(l+1), st.lane(l+2), st.lane(l+3)
+		end := src + int64(nrows)
+		a0 := lm0[src:end:end]
+		a1 := lm1[src:end:end]
+		a2 := lm2[src:end:end]
+		a3 := lm3[src:end:end]
+		addr := dst
+		for j := 0; j < nWCols; j++ {
+			wrow := wT[j*nrows : (j+1)*nrows : (j+1)*nrows]
+			var s0, s1, s2, s3 int64
+			for i, w := range wrow {
+				s0 += a0[i] * w
+				s1 += a1[i] * w
+				s2 += a2[i] * w
+				s3 += a3[i] * w
+			}
+			if acc {
+				lm0[addr] += s0
+				lm1[addr] += s1
+				lm2[addr] += s2
+				lm3[addr] += s3
+			} else {
+				lm0[addr] = s0
+				lm1[addr] = s1
+				lm2[addr] = s2
+				lm3[addr] = s3
+			}
+			addr += stride
+		}
+	}
+	for ; l+1 < st.lanes; l += 2 {
+		lm0, lm1 := st.lane(l), st.lane(l+1)
+		end := src + int64(nrows)
+		a0 := lm0[src:end:end]
+		a1 := lm1[src:end:end]
+		addr := dst
+		for j := 0; j < nWCols; j++ {
+			wrow := wT[j*nrows : (j+1)*nrows : (j+1)*nrows]
+			var s0, s1 int64
+			for i, w := range wrow {
+				s0 += a0[i] * w
+				s1 += a1[i] * w
+			}
+			if acc {
+				lm0[addr] += s0
+				lm1[addr] += s1
+			} else {
+				lm0[addr] = s0
+				lm1[addr] = s1
+			}
+			addr += stride
+		}
+	}
+	for ; l < st.lanes; l++ {
+		lm := st.lane(l)
+		avs := lm[src : src+int64(nrows) : src+int64(nrows)]
+		addr := dst
+		for j := 0; j < nWCols; j++ {
+			wrow := wT[j*nrows : (j+1)*nrows : (j+1)*nrows]
+			var sum int64
+			for i, w := range wrow {
+				sum += avs[i] * w
+			}
+			if acc {
+				lm[addr] += sum
+			} else {
+				lm[addr] = sum
+			}
+			addr += stride
+		}
+	}
+	if dstNode >= 0 {
+		bm.markCIMOutput(dstNode)
+	}
+	return nil
+}
+
+// readRows is the batched analog MVM: the per-weight-column pass over the
+// reconstructed-weight cache is made once per lane, with the weight source
+// (cache pointer or one-time cell reassembly) resolved once per op.
+func (bm *BatchMachine) readRows(xb, row, nrows int, src, dst, stride int64, acc bool, srcNode, dstNode int) error {
+	img, st := bm.img, bm.st
+	a := img.a
+	if xb < 0 || xb >= len(st.cells) || st.cells[xb] == nil {
+		return fmt.Errorf("crossbar %d not programmed", xb)
+	}
+	p := &st.prog[xb]
+	if row+nrows > p.rows {
+		return fmt.Errorf("read rows [%d,%d) exceed programmed rows %d", row, row+nrows, p.rows)
+	}
+	bm.settleNode(srcNode)
+	s := a.CellsPerWeight()
+	nWCols := p.cols / s
+	sums := st.colSumsBuf(nWCols)
+
+	var wc []int64 // weight rows, nWAll-strided (cache) or nWCols-strided (recon)
+	nWStride := nWCols
+	if st.cellShared[xb] && img.baseWeights != nil && img.baseWeights[xb] != nil {
+		wc = img.baseWeights[xb]
+		nWStride = a.XB.Cols / s
+	} else {
+		// COW broke the aliasing (the body reprogrammed this crossbar):
+		// reassemble the bit-sliced weights once for the whole batch instead
+		// of once per element per request.
+		wc = st.wreconBuf(nrows * nWCols)
+		bits, cb := a.WeightBits, a.XB.CellBits
+		cols := a.XB.Cols
+		cells := st.cells[xb]
+		slices := make([]uint32, s)
+		for i := 0; i < nrows; i++ {
+			base := (row + i) * cols
+			for j := 0; j < nWCols; j++ {
+				for k := 0; k < s; k++ {
+					slices[k] = uint32(cells[base+j*s+k])
+				}
+				wc[i*nWCols+j] = int64(tensor.FromBitSlices(slices, bits, cb))
+			}
+		}
+		row = 0 // wc is already offset to the read's first row
+	}
+
+	for l := 0; l < st.lanes; l++ {
+		lm := st.lane(l)
+		clear(sums)
+		srcMem := lm[src : src+int64(nrows)]
+		for i, av := range srcMem {
+			if av == 0 {
+				continue
+			}
+			off := (row + i) * nWStride
+			rowW := wc[off : off+nWCols : off+nWCols]
+			j := 0
+			for ; j+3 < len(rowW); j += 4 {
+				s0 := sums[j] + av*rowW[j]
+				s1 := sums[j+1] + av*rowW[j+1]
+				s2 := sums[j+2] + av*rowW[j+2]
+				s3 := sums[j+3] + av*rowW[j+3]
+				sums[j], sums[j+1], sums[j+2], sums[j+3] = s0, s1, s2, s3
+			}
+			for ; j < len(rowW); j++ {
+				sums[j] += av * rowW[j]
+			}
+		}
+		addr := dst
+		if acc {
+			for j := 0; j < nWCols; j++ {
+				lm[addr] += sums[j]
+				addr += stride
+			}
+		} else {
+			for j := 0; j < nWCols; j++ {
+				lm[addr] = sums[j]
+				addr += stride
+			}
+		}
+	}
+	if dstNode >= 0 {
+		bm.markCIMOutput(dstNode)
+	}
+	return nil
+}
+
+// gatherPlan computes the index plan of window w of node n's input: for each
+// weight-matrix row, the lane-relative source address, or -1 for zero
+// padding. The plan depends only on geometry, so one plan serves every lane.
+func (img *Image) gatherPlan(n *graph.Node, w, srcBase int64, plan []int64) error {
+	switch n.Op {
+	case graph.OpConv:
+		in := img.g.MustNode(n.Inputs[0]).OutShape
+		inC, h, wd := in[0], in[1], in[2]
+		outW := n.OutShape[2]
+		oy := int(w) / outW
+		ox := int(w) % outW
+		kH, kW := n.Attr.KernelH, n.Attr.KernelW
+		st, pad := n.Attr.Stride, n.Attr.Padding
+		y0, x0 := oy*st-pad, ox*st-pad
+		idx := 0
+		for ic := 0; ic < inC; ic++ {
+			for ky := 0; ky < kH; ky++ {
+				iy := y0 + ky
+				rowBase := srcBase + int64((ic*h+iy)*wd)
+				for kx := 0; kx < kW; kx++ {
+					ix := x0 + kx
+					if iy < 0 || iy >= h || ix < 0 || ix >= wd {
+						plan[idx] = -1
+					} else {
+						plan[idx] = rowBase + int64(ix)
+					}
+					idx++
+				}
+			}
+		}
+		return nil
+	case graph.OpDense:
+		rows := int64(len(plan))
+		base := srcBase
+		if len(n.OutShape) == 2 {
+			base += w * rows
+		}
+		for i := int64(0); i < rows; i++ {
+			plan[i] = base + i
+		}
+		return nil
+	}
+	return fmt.Errorf("gather for unsupported op %s", n.Op)
+}
+
+func (img *Image) compileReadCore(o mop.ReadCore) (kernel, error) {
+	n, err := img.g.Node(o.Node)
+	if err != nil {
+		return nil, err
+	}
+	qw, ok := img.qweights[o.Node]
+	if !ok {
+		return nil, fmt.Errorf("no quantized weights for node %d", o.Node)
+	}
+	dims := img.wDims[o.Node]
+	rows, cols := dims[0], dims[1]
+	srcNode := img.nodeAt(o.Src)
+	// Destination addressing (see Machine.cimDst): addr = Dst + j·cj + w·cw.
+	var cj, cw int64
+	switch {
+	case n.Op == graph.OpConv:
+		cj, cw = int64(n.OutShape[1])*int64(n.OutShape[2]), 1
+	case len(n.OutShape) == 2:
+		cj, cw = 1, int64(n.OutShape[1])
+	default:
+		cj, cw = 1, 0
+	}
+	return func(bm *BatchMachine) error {
+		st := bm.st
+		bm.settleNode(srcNode)
+		plan := st.planBuf(rows)
+		sums := st.colSumsBuf(cols)
+		for w := o.WinStart; w < o.WinStart+o.WinCount; w++ {
+			if err := bm.img.gatherPlan(n, w, o.Src, plan); err != nil {
+				return err
+			}
+			for l := 0; l < st.lanes; l++ {
+				lm := st.lane(l)
+				clear(sums)
+				for i := 0; i < rows; i++ {
+					idx := plan[i]
+					if idx < 0 {
+						continue
+					}
+					av := lm[idx]
+					if av == 0 {
+						continue
+					}
+					wr := qw[i*cols : (i+1)*cols : (i+1)*cols]
+					j := 0
+					for ; j+3 < len(wr); j += 4 {
+						s0 := sums[j] + av*int64(wr[j])
+						s1 := sums[j+1] + av*int64(wr[j+1])
+						s2 := sums[j+2] + av*int64(wr[j+2])
+						s3 := sums[j+3] + av*int64(wr[j+3])
+						sums[j], sums[j+1], sums[j+2], sums[j+3] = s0, s1, s2, s3
+					}
+					for ; j < len(wr); j++ {
+						sums[j] += av * int64(wr[j])
+					}
+				}
+				base := o.Dst + w*cw
+				for j := 0; j < cols; j++ {
+					lm[base+int64(j)*cj] = sums[j]
+				}
+			}
+		}
+		bm.markCIMOutput(o.Node)
+		return nil
+	}, nil
+}
+
+func (img *Image) compileMov(o mop.Mov) (kernel, error) {
+	srcNode := img.nodeAt(o.Src)
+	dstNode := img.nodeAt(o.Dst)
+	// Whole-region copies propagate the source's numeric domain (Flatten,
+	// Identity) — resolved statically.
+	propagate := dstNode >= 0 && srcNode >= 0 &&
+		o.Dst == img.base[dstNode] && o.Len == img.size[dstNode]
+	return func(bm *BatchMachine) error {
+		st := bm.st
+		bm.settleNode(srcNode)
+		for l := 0; l < st.lanes; l++ {
+			lm := st.lane(l)
+			copy(lm[o.Dst:o.Dst+o.Len], lm[o.Src:o.Src+o.Len])
+		}
+		if propagate {
+			st.regionScale[dstNode] = st.regionScale[srcNode]
+			st.regionRaw[dstNode] = false
+		}
+		return nil
+	}, nil
+}
+
+func (img *Image) compileMovWindow(o mop.MovWindow) (kernel, error) {
+	n, err := img.g.Node(o.Node)
+	if err != nil {
+		return nil, err
+	}
+	if n.Op != graph.OpConv {
+		return nil, fmt.Errorf("mov_window on non-conv node %d", o.Node)
+	}
+	rows := n.WeightShape[1] * n.WeightShape[2] * n.WeightShape[3]
+	srcNode := img.nodeAt(o.SrcBase)
+	return func(bm *BatchMachine) error {
+		st := bm.st
+		bm.settleNode(srcNode)
+		plan := st.planBuf(rows)
+		if err := bm.img.gatherPlan(n, o.Window, o.SrcBase, plan); err != nil {
+			return err
+		}
+		for l := 0; l < st.lanes; l++ {
+			lm := st.lane(l)
+			for i, idx := range plan {
+				if idx < 0 {
+					lm[o.Dst+int64(i)] = 0
+				} else {
+					lm[o.Dst+int64(i)] = lm[idx]
+				}
+			}
+		}
+		return nil
+	}, nil
+}
+
+func (img *Image) compileDcom(o mop.Dcom) (kernel, error) {
+	n, err := img.g.Node(o.Node)
+	if err != nil {
+		return nil, err
+	}
+	if n.Op == graph.OpReLU {
+		return img.compileDcomReLU(o, n)
+	}
+	q := img.actScale[o.Node]
+	inputs := append([]int(nil), n.Inputs...)
+	return func(bm *BatchMachine) error {
+		st := bm.st
+		for _, in := range inputs {
+			bm.settleNode(in)
+		}
+		ins := make([]*tensor.Tensor, len(inputs))
+		for l := 0; l < st.lanes; l++ {
+			for i, in := range inputs {
+				ins[i] = bm.regionTensor(l, in)
+			}
+			out, err := digitalKernel(n, ins)
+			if err != nil {
+				return err
+			}
+			qv, err := tensor.Quantize(out, q)
+			if err != nil {
+				return err
+			}
+			if int64(len(qv)) != o.Len {
+				return fmt.Errorf("dcom %s output length %d does not match len %d", o.Fn, len(qv), o.Len)
+			}
+			lm := st.lane(l)
+			for i, v := range qv {
+				lm[o.Dst+int64(i)] = int64(v)
+			}
+		}
+		st.regionScale[o.Node] = float64(q.Scale)
+		st.regionRaw[o.Node] = false
+		return nil
+	}, nil
+}
+
+// compileDcomReLU specializes the allocation-free ReLU: the requantization
+// table (or the direct loop) replicates dcomReLU's arithmetic element for
+// element, but the table is built once per micro-batch instead of once per
+// request.
+func (img *Image) compileDcomReLU(o mop.Dcom, n *graph.Node) (kernel, error) {
+	in := n.Inputs[0]
+	base, size := img.base[in], img.size[in]
+	if size != o.Len {
+		return nil, fmt.Errorf("dcom %s output length %d does not match len %d", o.Fn, size, o.Len)
+	}
+	q := img.actScale[o.Node]
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	maxQ, scale := q.MaxQ(), q.Scale
+	maxIn := int64(img.actScale[in].MaxQ())
+	return func(bm *BatchMachine) error {
+		st := bm.st
+		bm.settleNode(in)
+		inScale := st.regionScale[in]
+		if inScale == 0 {
+			inScale = float64(img.actScale[in].Scale)
+		}
+		reluQuant := func(v int64) int64 {
+			f := float32(float64(v) * inScale)
+			if f < 0 {
+				f = 0
+			}
+			r := int32(math.RoundToEven(float64(f / scale)))
+			if r > maxQ {
+				r = maxQ
+			}
+			if r < -maxQ {
+				r = -maxQ
+			}
+			return int64(r)
+		}
+		if maxIn <= 1<<12 && size >= maxIn {
+			table := st.tableBuf(2*maxIn + 1)
+			for v := -maxIn; v <= maxIn; v++ {
+				table[v+maxIn] = reluQuant(v)
+			}
+			for l := 0; l < st.lanes; l++ {
+				lm := st.lane(l)
+				for i := int64(0); i < size; i++ {
+					v := lm[base+i]
+					if v >= -maxIn && v <= maxIn {
+						lm[o.Dst+i] = table[v+maxIn]
+					} else {
+						lm[o.Dst+i] = reluQuant(v)
+					}
+				}
+			}
+		} else {
+			for l := 0; l < st.lanes; l++ {
+				lm := st.lane(l)
+				for i := int64(0); i < size; i++ {
+					lm[o.Dst+i] = reluQuant(lm[base+i])
+				}
+			}
+		}
+		st.regionScale[o.Node] = float64(q.Scale)
+		st.regionRaw[o.Node] = false
+		return nil
+	}, nil
+}

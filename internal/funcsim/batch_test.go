@@ -1,0 +1,166 @@
+package funcsim
+
+import (
+	"testing"
+
+	"cimmlc/internal/arch"
+	"cimmlc/internal/codegen"
+	"cimmlc/internal/core"
+	"cimmlc/internal/graph"
+	"cimmlc/internal/models"
+	"cimmlc/internal/mop"
+	"cimmlc/internal/tensor"
+)
+
+// compileImage builds a programmed Image plus the scalar flow and the batched
+// kernel closures for g on a.
+func compileImage(t *testing.T, g *graph.Graph, a *arch.Arch, seed uint64, calib map[int]*tensor.Tensor) (*Image, *mop.Flow, *CompiledFlow) {
+	t.Helper()
+	res, err := core.Compile(g, a, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := codegen.Generate(g, a, res.Schedule, res.Placement, res.Model, codegen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := graph.RandomWeights(g, seed)
+	img, err := NewImage(g, a, gen.Layout, w, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.ProgramInit(gen.Flow.Init); err != nil {
+		t.Fatal(err)
+	}
+	cf, err := img.CompileBody(gen.Flow.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img, gen.Flow, cf
+}
+
+// scalarRun pushes one request through the per-MOP interpreter on a fresh
+// State and returns the settled graph outputs.
+func scalarRun(t *testing.T, img *Image, flow *mop.Flow, inputs map[int]*tensor.Tensor) map[int]*tensor.Tensor {
+	t.Helper()
+	m := img.Exec(img.NewState())
+	if err := m.LoadInputs(inputs); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunBody(flow); err != nil {
+		t.Fatal(err)
+	}
+	m.SettleAll()
+	return m.TensorsOf(img.Graph().Outputs())
+}
+
+// batchRun pushes the given requests through the compiled kernels as one
+// micro-batch and returns per-lane settled outputs.
+func batchRun(t *testing.T, img *Image, cf *CompiledFlow, st *BatchState, ins []map[int]*tensor.Tensor) []map[int]*tensor.Tensor {
+	t.Helper()
+	img.ResetBatch(st, len(ins))
+	bm := img.ExecBatch(st)
+	for l, in := range ins {
+		if err := bm.LoadInputs(l, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bm.RunBody(cf); err != nil {
+		t.Fatal(err)
+	}
+	bm.SettleAll()
+	outIDs := img.Graph().Outputs()
+	outs := make([]map[int]*tensor.Tensor, len(ins))
+	for l := range ins {
+		outs[l] = bm.TensorsOf(l, outIDs)
+	}
+	return outs
+}
+
+func requireLanesMatchScalar(t *testing.T, img *Image, flow *mop.Flow, ins, got []map[int]*tensor.Tensor) {
+	t.Helper()
+	outIDs := img.Graph().Outputs()
+	for l := range ins {
+		want := scalarRun(t, img, flow, ins[l])
+		for _, id := range outIDs {
+			if !tensor.AllClose(got[l][id], want[id], 0) {
+				d, _ := tensor.MaxAbsDiff(got[l][id], want[id])
+				t.Fatalf("lane %d node %d: batched output diverges from scalar by %g", l, id, d)
+			}
+		}
+	}
+}
+
+func convInputs(n int, base uint64) []map[int]*tensor.Tensor {
+	ins := make([]map[int]*tensor.Tensor, n)
+	for l := 0; l < n; l++ {
+		in := tensor.New(3, 32, 32)
+		in.Rand(base+uint64(l), 1)
+		ins[l] = map[int]*tensor.Tensor{0: in}
+	}
+	return ins
+}
+
+func TestBatchedConvMatchesScalar(t *testing.T) {
+	img, flow, cf := compileImage(t, models.ConvReLU(), toyInMode(arch.XBM), 41, convInputs(1, 40)[0])
+	ins := convInputs(4, 100)
+	st := img.NewBatchState(len(ins))
+	got := batchRun(t, img, cf, st, ins)
+	requireLanesMatchScalar(t, img, flow, ins, got)
+}
+
+func TestBatchedDenseMatchesScalar(t *testing.T) {
+	g := models.MLP()
+	calibIn := tensor.New(784)
+	calibIn.Rand(199, 1)
+	img, flow, cf := compileImage(t, g, toyInMode(arch.XBM), 42, map[int]*tensor.Tensor{g.InputIDs()[0]: calibIn})
+	ins := make([]map[int]*tensor.Tensor, 3)
+	for l := range ins {
+		in := tensor.New(784)
+		in.Rand(200+uint64(l), 1)
+		ins[l] = map[int]*tensor.Tensor{g.InputIDs()[0]: in}
+	}
+	st := img.NewBatchState(len(ins))
+	got := batchRun(t, img, cf, st, ins)
+	requireLanesMatchScalar(t, img, flow, ins, got)
+}
+
+func TestBatchedWLMMatchesScalar(t *testing.T) {
+	// WLM flows exercise readrow with window gathers; the batched kernels
+	// must reuse one gather plan across all lanes without cross-talk.
+	img, flow, cf := compileImage(t, models.ConvReLU(), toyInMode(arch.WLM), 43, convInputs(1, 42)[0])
+	ins := convInputs(3, 300)
+	st := img.NewBatchState(len(ins))
+	got := batchRun(t, img, cf, st, ins)
+	requireLanesMatchScalar(t, img, flow, ins, got)
+}
+
+func TestBatchStateReuseAcrossLaneCounts(t *testing.T) {
+	// A pooled BatchState must produce identical results when reset to a
+	// smaller and then a larger lane count: ResetBatch has to clear stale
+	// activation words and re-point the crossbar view at the image.
+	img, flow, cf := compileImage(t, models.ConvReLU(), toyInMode(arch.XBM), 44, convInputs(1, 44)[0])
+	st := img.NewBatchState(3)
+	for round, n := range []int{3, 2, 5} {
+		ins := convInputs(n, uint64(400+100*round))
+		got := batchRun(t, img, cf, st, ins)
+		requireLanesMatchScalar(t, img, flow, ins, got)
+	}
+}
+
+func TestCompileBodyRejectsBadOps(t *testing.T) {
+	img, _, _ := compileImage(t, models.ConvReLU(), toyInMode(arch.XBM), 45, convInputs(1, 45)[0])
+	// A mov_window on a non-conv node must be rejected at compile time, not
+	// at batch-execution time.
+	if _, err := img.CompileBody([]mop.Op{mop.MovWindow{Node: 2, Window: 0, SrcBase: 0, Dst: 0}}); err == nil {
+		t.Fatal("CompileBody accepted mov_window on relu node")
+	}
+	// Running a CompiledFlow built from a different image must be refused.
+	img2, _, cf2 := compileImage(t, models.ConvReLU(), toyInMode(arch.XBM), 46, convInputs(1, 46)[0])
+	st := img.NewBatchState(1)
+	bm := img.ExecBatch(st)
+	if err := bm.RunBody(cf2); err == nil {
+		t.Fatal("RunBody accepted kernels compiled for a different image")
+	}
+	_ = img2
+}

@@ -75,27 +75,34 @@ func (m *Machine) exec(op mop.Op) error {
 // copied before the first body-section write touches them (copy-on-write),
 // so reprogramming in multi-round flows never leaks into other states.
 func (m *Machine) writeTile(xb, rowStart, node, cellRowOff, cellColOff, rows, cols int) error {
-	a, st := m.img.a, m.st
-	if xb < 0 || xb >= len(st.cells) {
+	return writeTileInto(m.img, m.st.cells, m.st.cellShared, m.st.prog, xb, rowStart, node, cellRowOff, cellColOff, rows, cols)
+}
+
+// writeTileInto is writeTile against an explicit crossbar view, shared by the
+// per-request Machine and the batched BatchMachine (whose crossbar state is
+// lane-invariant: weights depend only on the image, never on activations).
+func writeTileInto(img *Image, cells [][]uint8, cellShared []bool, prog []xbProg, xb, rowStart, node, cellRowOff, cellColOff, rows, cols int) error {
+	a := img.a
+	if xb < 0 || xb >= len(cells) {
 		return fmt.Errorf("crossbar %d out of range", xb)
 	}
 	if rowStart+rows > a.XB.Rows || cols > a.XB.Cols {
 		return fmt.Errorf("tile %dx%d at row %d exceeds crossbar %dx%d", rows, cols, rowStart, a.XB.Rows, a.XB.Cols)
 	}
-	qw, ok := m.img.qweights[node]
+	qw, ok := img.qweights[node]
 	if !ok {
 		return fmt.Errorf("no quantized weights for node %d", node)
 	}
-	dims := m.img.wDims[node]
+	dims := img.wDims[node]
 	s := a.CellsPerWeight()
 	if cellColOff%s != 0 {
 		return fmt.Errorf("cell column offset %d not aligned to %d cells per weight", cellColOff, s)
 	}
-	p := &st.prog[xb]
+	p := &prog[xb]
 	if p.node != node || p.rowDelta != cellRowOff-rowStart || p.cellColOff != cellColOff {
 		// Reprogramming with a new tile: clear the array.
-		st.cells[xb] = make([]uint8, a.XB.Rows*a.XB.Cols)
-		st.cellShared[xb] = false
+		cells[xb] = make([]uint8, a.XB.Rows*a.XB.Cols)
+		cellShared[xb] = false
 		p.node = node
 		p.rowDelta = cellRowOff - rowStart
 		p.cellColOff = cellColOff
@@ -108,16 +115,16 @@ func (m *Machine) writeTile(xb, rowStart, node, cellRowOff, cellColOff, rows, co
 	if cols > p.cols {
 		p.cols = cols
 	}
-	if st.cells[xb] == nil {
-		st.cells[xb] = make([]uint8, a.XB.Rows*a.XB.Cols)
-		st.cellShared[xb] = false
-	} else if st.cellShared[xb] {
+	if cells[xb] == nil {
+		cells[xb] = make([]uint8, a.XB.Rows*a.XB.Cols)
+		cellShared[xb] = false
+	} else if cellShared[xb] {
 		// Extending a tile that still aliases the image's array: copy
 		// before writing.
-		dup := make([]uint8, len(st.cells[xb]))
-		copy(dup, st.cells[xb])
-		st.cells[xb] = dup
-		st.cellShared[xb] = false
+		dup := make([]uint8, len(cells[xb]))
+		copy(dup, cells[xb])
+		cells[xb] = dup
+		cellShared[xb] = false
 	}
 	for i := 0; i < rows; i++ {
 		matRow := cellRowOff + i
@@ -133,7 +140,7 @@ func (m *Machine) writeTile(xb, rowStart, node, cellRowOff, cellColOff, rows, co
 			}
 			v := qw[matRow*dims[1]+wCol]
 			slices := tensor.BitSlice(v, a.WeightBits, a.XB.CellBits)
-			st.cells[xb][(rowStart+i)*a.XB.Cols+l] = uint8(slices[slice])
+			cells[xb][(rowStart+i)*a.XB.Cols+l] = uint8(slices[slice])
 		}
 	}
 	return nil

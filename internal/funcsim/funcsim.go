@@ -248,6 +248,10 @@ func (img *Image) weightsFor(xb int, st *State) []int64 {
 // Graph returns the image's shape-inferred graph (read-only).
 func (img *Image) Graph() *graph.Graph { return img.g }
 
+// MemWords returns the flow's addressed buffer size in words — one lane's
+// memory footprint, used to budget micro-batch widths.
+func (img *Image) MemWords() int64 { return img.lay.Total }
+
 // ProgramInit executes the flow's weight-programming section into the
 // image's baseline crossbar state. It must be called before the image is
 // shared across goroutines; afterwards every State starts from the
@@ -367,8 +371,9 @@ func weightMatrix(n *graph.Node, w *tensor.Tensor) (*tensor.Tensor, error) {
 
 // nodeAt resolves a buffer address to the node whose region contains it
 // (scratch addresses resolve to no node and return -1).
-func (m *Machine) nodeAt(addr int64) int {
-	img := m.img
+func (m *Machine) nodeAt(addr int64) int { return m.img.nodeAt(addr) }
+
+func (img *Image) nodeAt(addr int64) int {
 	if addr >= img.nodeEnd {
 		return -1 // scratch space
 	}

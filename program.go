@@ -2,8 +2,11 @@ package cimmlc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -37,13 +40,32 @@ type Program struct {
 	// executing a single flow.
 	parts []*subprogram
 
+	// bflow is the flow body precompiled into batched kernel closures; nil
+	// for partitioned programs and under WithBatchedExecution(false), in
+	// which case RunBatch always takes the per-request paths.
+	bflow *funcsim.CompiledFlow
+
 	workers int
 
 	pool       sync.Pool // of *funcsim.State
+	bpool      sync.Pool // of *funcsim.BatchState
 	requests   atomic.Uint64
 	poolHits   atomic.Uint64
 	poolMisses atomic.Uint64
+	batchRuns  atomic.Uint64
+	batchReqs  atomic.Uint64
 }
+
+// Test seams, nil outside tests: testHookBatchClaim runs after a pooled
+// RunBatch worker claims request i; testHookRunStart runs inside run after
+// the context check; testHookBatchFail runs after a request error has been
+// recorded. They exist to force cancel/first-error interleavings that are
+// otherwise timing-dependent.
+var (
+	testHookBatchClaim func(i int)
+	testHookRunStart   func(ctx context.Context, inputs map[int]*Tensor)
+	testHookBatchFail  func(i int)
+)
 
 // ProgramStats reports a program's serving counters.
 type ProgramStats struct {
@@ -53,6 +75,11 @@ type ProgramStats struct {
 	// PoolMisses counts runs that had to allocate a fresh one.
 	PoolHits   uint64
 	PoolMisses uint64
+	// BatchRuns counts micro-batches executed on the batched kernel path;
+	// BatchedRequests counts the requests those micro-batches served (also
+	// included in Requests).
+	BatchRuns       uint64
+	BatchedRequests uint64
 	// Tuning reports the autotune search the program's schedule came from
 	// (tuned vs heuristic cycles); nil when the program was compiled without
 	// WithAutoTune. Treat it as read-only.
@@ -70,6 +97,7 @@ type BuildOption func(*buildConfig)
 type buildConfig struct {
 	calib   map[int]*Tensor
 	workers int
+	noBatch bool
 }
 
 // WithCalibration supplies the activation-calibration inputs used to fix
@@ -84,6 +112,16 @@ func WithCalibration(inputs map[int]*Tensor) BuildOption {
 // GOMAXPROCS.
 func WithWorkers(n int) BuildOption {
 	return func(c *buildConfig) { c.workers = n }
+}
+
+// WithBatchedExecution toggles RunBatch's batched kernel path (default on):
+// same-shaped requests are grouped into micro-batches that stream through
+// the precompiled flow kernels together, one pass over each crossbar's
+// weights serving the whole micro-batch. Outputs are bit-identical to
+// per-request execution; disable only to pin the per-request path (baseline
+// benchmarks, tests of the worker pool).
+func WithBatchedExecution(on bool) BuildOption {
+	return func(c *buildConfig) { c.noBatch = !on }
 }
 
 // Build compiles g once for serving: it runs the full pass pipeline
@@ -166,6 +204,16 @@ func (c *Compiler) newProgram(g *Graph, fr *FlowResult, w Weights, cfg buildConf
 		return nil, err
 	}
 	p.img = img
+	if !cfg.noBatch {
+		// Precompile the flow body into batched kernel closures (specialized
+		// on op, shape and precision) so RunBatch can stream micro-batches
+		// through one dispatch-free pass per operator.
+		bf, err := img.CompileBody(fr.Flow.Body)
+		if err != nil {
+			return nil, fmt.Errorf("compiling batched kernels: %w", err)
+		}
+		p.bflow = bf
+	}
 	return p, nil
 }
 
@@ -199,6 +247,9 @@ func (p *Program) run(ctx context.Context, inputs map[int]*Tensor, allNodes bool
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if testHookRunStart != nil {
+		testHookRunStart(ctx, inputs)
 	}
 	if p.parts != nil {
 		// allNodes has no meaning across targets (the deprecated one-shot
@@ -239,17 +290,31 @@ func (p *Program) getState() *funcsim.State {
 	return p.img.NewState()
 }
 
-// RunBatch executes one inference per request map, fanning the requests
-// across a bounded worker pool (WithWorkers, default GOMAXPROCS). Results
-// are returned in request order. The first error cancels the remaining
-// requests and is returned; partial results are discarded.
+// RunBatch executes one inference per request map, returning results in
+// request order. Same-shaped requests are grouped into micro-batches that
+// execute on the batched kernel path — one pass over each programmed
+// crossbar serves the whole micro-batch — distributed across a bounded
+// worker pool (WithWorkers, default GOMAXPROCS); ragged shapes, partitioned
+// programs and singleton groups fall back to per-request execution. Batched
+// and per-request execution are bit-identical.
+//
+// On failure the returned results are nil and the error names the failing
+// request: the lowest-indexed request whose execution produced a genuine
+// error, falling back to a request-indexed cancellation and only then to the
+// bare context error. The first genuine error cancels the remaining
+// requests.
 func (p *Program) RunBatch(ctx context.Context, reqs []map[int]*Tensor) ([]map[int]*Tensor, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Empty-batch path: honor the nil-results-on-error convention — a
+	// pre-cancelled context must not hand back a non-nil result slice.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	outs := make([]map[int]*Tensor, len(reqs))
 	if len(reqs) == 0 {
-		return outs, ctx.Err()
+		return outs, nil
 	}
 	workers := p.workers
 	if workers <= 0 {
@@ -258,7 +323,8 @@ func (p *Program) RunBatch(ctx context.Context, reqs []map[int]*Tensor) ([]map[i
 	if workers > len(reqs) {
 		workers = len(reqs)
 	}
-	if workers == 1 {
+	items := p.batchItems(reqs, workers)
+	if items == nil && workers == 1 {
 		// Inline fast path: no worker goroutines, no cancel machinery.
 		// Request-major order also keeps each request's execution state hot
 		// through the whole flow, which measures faster than op-major fused
@@ -272,51 +338,267 @@ func (p *Program) RunBatch(ctx context.Context, reqs []map[int]*Tensor) ([]map[i
 		}
 		return outs, nil
 	}
+	if items == nil {
+		// Per-request fallback: one work item per request.
+		items = make([][]int, len(reqs))
+		for i := range reqs {
+			items[i] = []int{i}
+		}
+	}
+
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	rec := &batchErrors{cancel: cancel}
 
-	var (
-		next     atomic.Int64
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-			cancel()
-		}
-		mu.Unlock()
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(reqs) || ctx.Err() != nil {
-					return
-				}
-				out, err := p.Run(ctx, reqs[i])
-				if err != nil {
-					fail(fmt.Errorf("cimmlc: RunBatch: request %d: %w", i, err))
-					return
-				}
-				outs[i] = out
+	runItem := func(item []int) {
+		if len(item) == 1 {
+			i := item[0]
+			if testHookBatchClaim != nil {
+				testHookBatchClaim(i)
 			}
-		}()
+			out, err := p.Run(ctx, reqs[i])
+			if err != nil {
+				rec.record(i, err)
+				return
+			}
+			outs[i] = out
+			return
+		}
+		if i, err := p.runMicroBatch(ctx, reqs, item, outs); err != nil {
+			rec.record(i, err)
+		}
 	}
-	wg.Wait()
-	if firstErr == nil {
-		// Workers exit silently when the parent context is cancelled;
-		// surface that as the batch error.
-		firstErr = ctx.Err()
+
+	if w := min(workers, len(items)); w == 1 {
+		for _, item := range items {
+			if ctx.Err() != nil {
+				break
+			}
+			runItem(item)
+			if rec.failed() {
+				break
+			}
+		}
+	} else {
+		var (
+			next atomic.Int64
+			wg   sync.WaitGroup
+		)
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(items) || ctx.Err() != nil {
+						return
+					}
+					runItem(items[i])
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	if err := rec.resolve(ctx); err != nil {
+		return nil, err
 	}
 	return outs, nil
+}
+
+// batchErrors aggregates per-request failures of one RunBatch call. Genuine
+// request errors take precedence over cancellation-flavored ones regardless
+// of arrival order, so a caller always receives the request-indexed error
+// when one exists — never a bare context.Canceled that happened to be
+// observed first by another worker.
+type batchErrors struct {
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	err       error // lowest-indexed genuine request error
+	errIdx    int
+	cancelErr error // lowest-indexed cancellation-flavored request error
+	cancelIdx int
+}
+
+func (e *batchErrors) record(i int, err error) {
+	wrapped := fmt.Errorf("cimmlc: RunBatch: request %d: %w", i, err)
+	e.mu.Lock()
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		// The request observed the batch's cancellation; it did not cause
+		// the failure. Keep it only as a fallback attribution.
+		if e.cancelErr == nil || i < e.cancelIdx {
+			e.cancelErr, e.cancelIdx = wrapped, i
+		}
+	} else {
+		if e.err == nil || i < e.errIdx {
+			e.err, e.errIdx = wrapped, i
+		}
+		e.cancel()
+	}
+	e.mu.Unlock()
+	if testHookBatchFail != nil {
+		testHookBatchFail(i)
+	}
+}
+
+func (e *batchErrors) failed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err != nil
+}
+
+// resolve picks the batch's error after all workers have joined (no
+// locking needed: Wait establishes happens-before).
+func (e *batchErrors) resolve(ctx context.Context) error {
+	switch {
+	case e.err != nil:
+		return e.err
+	case ctx.Err() != nil:
+		if e.cancelErr != nil {
+			return e.cancelErr
+		}
+		return ctx.Err()
+	}
+	return nil
+}
+
+// maxMicroBatchWords caps a micro-batch's total lane memory (words, ~8 MB)
+// so the batch's activation working set stays cache-resident: per-request
+// cost rises again once the lanes spill the last-level cache. Lanes beyond
+// the cap split into further micro-batches.
+const maxMicroBatchWords = int64(1) << 20
+
+// batchItems groups the batch's request indices into work items for the
+// batched path: maximal runs of same-shaped requests, chunked into
+// micro-batches sized to keep every worker busy. It returns nil when the
+// batched path does not apply (partitioned program, batching disabled, or
+// no group of at least two same-shaped requests) — the caller then uses the
+// per-request paths.
+func (p *Program) batchItems(reqs []map[int]*Tensor, workers int) [][]int {
+	if p.bflow == nil || p.parts != nil || len(reqs) < 2 {
+		return nil
+	}
+	laneCap := int(min(64, max(1, maxMicroBatchWords/max(1, p.img.MemWords()))))
+	if laneCap < 2 {
+		return nil
+	}
+	// Group by input signature, preserving first-appearance order.
+	sigOf := make([]string, len(reqs))
+	groups := make(map[string][]int)
+	var order []string
+	for i, req := range reqs {
+		s := requestSig(req)
+		sigOf[i] = s
+		if _, ok := groups[s]; !ok {
+			order = append(order, s)
+		}
+		groups[s] = append(groups[s], i)
+	}
+	batched := false
+	var items [][]int
+	for _, s := range order {
+		g := groups[s]
+		// Micro-batch size: spread the group across the worker pool, capped
+		// by the lane-memory budget. Groups that would yield single-lane
+		// micro-batches run per-request instead.
+		mb := (len(g) + workers - 1) / workers
+		if mb > laneCap {
+			mb = laneCap
+		}
+		if mb < 2 {
+			for _, i := range g {
+				items = append(items, []int{i})
+			}
+			continue
+		}
+		batched = true
+		// Balance the chunks (16 lanes under a cap of 15 becomes 8+8, not
+		// 15+1) so no micro-batch degenerates to a near-empty tail.
+		chunks := (len(g) + mb - 1) / mb
+		lo, rem := len(g)/chunks, len(g)%chunks
+		for off, c := 0, 0; c < chunks; c++ {
+			n := lo
+			if c < rem {
+				n++
+			}
+			items = append(items, g[off:off+n])
+			off += n
+		}
+	}
+	if !batched {
+		return nil
+	}
+	return items
+}
+
+// requestSig canonicalizes a request's input schema (node IDs and shapes)
+// for same-shape grouping.
+func requestSig(req map[int]*Tensor) string {
+	ids := make([]int, 0, len(req))
+	for id := range req {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		t := req[id]
+		if t == nil {
+			fmt.Fprintf(&b, "%d:nil;", id)
+			continue
+		}
+		fmt.Fprintf(&b, "%d:", id)
+		for _, d := range t.Shape() {
+			fmt.Fprintf(&b, "%dx", d)
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// runMicroBatch executes one micro-batch of same-shaped requests through the
+// precompiled kernels. On failure it attributes the error to a request: lane
+// loading errors are already indexed; a kernel error triggers a per-request
+// re-run of the micro-batch so the offending request (and its exact error)
+// is the one reported.
+func (p *Program) runMicroBatch(ctx context.Context, reqs []map[int]*Tensor, idxs []int, outs []map[int]*Tensor) (int, error) {
+	st := p.getBatchState(len(idxs))
+	defer p.bpool.Put(st)
+	bm := p.img.ExecBatch(st)
+	for lane, ri := range idxs {
+		if err := bm.LoadInputs(lane, reqs[ri]); err != nil {
+			return ri, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return idxs[0], err
+	}
+	if err := bm.RunBody(p.bflow); err != nil {
+		for _, ri := range idxs {
+			if _, rerr := p.Run(ctx, reqs[ri]); rerr != nil {
+				return ri, rerr
+			}
+		}
+		return idxs[0], err
+	}
+	bm.SettleAll()
+	for lane, ri := range idxs {
+		outs[ri] = bm.TensorsOf(lane, p.outs)
+	}
+	p.batchRuns.Add(1)
+	p.batchReqs.Add(uint64(len(idxs)))
+	p.requests.Add(uint64(len(idxs)))
+	return -1, nil
+}
+
+// getBatchState draws a reset micro-batch state from the pool, allocating
+// when the pool is empty.
+func (p *Program) getBatchState(lanes int) *funcsim.BatchState {
+	if v := p.bpool.Get(); v != nil {
+		st := v.(*funcsim.BatchState)
+		p.img.ResetBatch(st, lanes)
+		return st
+	}
+	return p.img.NewBatchState(lanes)
 }
 
 // Verify checks the program's execution of inputs bit-exactly against the
@@ -351,9 +633,11 @@ func (p *Program) Verify(ctx context.Context, inputs map[int]*Tensor, floatTol f
 // Stats returns a snapshot of the program's serving counters.
 func (p *Program) Stats() ProgramStats {
 	st := ProgramStats{
-		Requests:   p.requests.Load(),
-		PoolHits:   p.poolHits.Load(),
-		PoolMisses: p.poolMisses.Load(),
+		Requests:        p.requests.Load(),
+		PoolHits:        p.poolHits.Load(),
+		PoolMisses:      p.poolMisses.Load(),
+		BatchRuns:       p.batchRuns.Load(),
+		BatchedRequests: p.batchReqs.Load(),
 	}
 	if p.res != nil {
 		st.Tuning = p.res.Tuning

@@ -1,0 +1,321 @@
+package cimmlc
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRunBatchErrorContract pins RunBatch's result/error contract across the
+// inline (workers==1) and pooled paths, with the batched kernels both enabled
+// and disabled: the result slice is nil whenever the error is non-nil, an
+// empty batch on a live context yields an empty non-nil slice, and a
+// mid-batch failure names the failing request.
+func TestRunBatchErrorContract(t *testing.T) {
+	ctx := context.Background()
+	good := func(seed uint64) map[int]*Tensor {
+		in := NewTensor(3, 32, 32)
+		in.Rand(seed, 1)
+		return map[int]*Tensor{0: in}
+	}
+	bad := map[int]*Tensor{0: NewTensor(2, 2)} // wrong shape for the input region
+
+	configs := []struct {
+		name  string
+		bopts []BuildOption
+	}{
+		{"inline", []BuildOption{WithWorkers(1)}},
+		{"pooled", []BuildOption{WithWorkers(4)}},
+		{"inline-unbatched", []BuildOption{WithWorkers(1), WithBatchedExecution(false)}},
+		{"pooled-unbatched", []BuildOption{WithWorkers(4), WithBatchedExecution(false)}},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			_, _, _, _, p := buildToyProgram(t, cfg.bopts...)
+
+			t.Run("empty", func(t *testing.T) {
+				outs, err := p.RunBatch(ctx, nil)
+				if err != nil || outs == nil || len(outs) != 0 {
+					t.Fatalf("empty batch: outs=%v err=%v, want empty non-nil outs and nil err", outs, err)
+				}
+			})
+			t.Run("empty-cancelled", func(t *testing.T) {
+				cctx, cancel := context.WithCancel(ctx)
+				cancel()
+				outs, err := p.RunBatch(cctx, nil)
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("err = %v, want context.Canceled", err)
+				}
+				if outs != nil {
+					t.Fatalf("outs = %v alongside error, want nil", outs)
+				}
+			})
+			t.Run("pre-cancelled", func(t *testing.T) {
+				cctx, cancel := context.WithCancel(ctx)
+				cancel()
+				outs, err := p.RunBatch(cctx, []map[int]*Tensor{good(1), good(2)})
+				if err == nil || outs != nil {
+					t.Fatalf("outs=%v err=%v, want nil outs and an error", outs, err)
+				}
+			})
+			t.Run("mid-batch-failure", func(t *testing.T) {
+				outs, err := p.RunBatch(ctx, []map[int]*Tensor{good(3), bad, good(4), good(5)})
+				if err == nil || !strings.Contains(err.Error(), "request 1") {
+					t.Fatalf("err = %v, want an error naming request 1", err)
+				}
+				if outs != nil {
+					t.Fatalf("outs = %v alongside error, want nil", outs)
+				}
+			})
+		})
+	}
+}
+
+// TestRunBatchPrefersRequestErrorOverCancel forces the cancel/first-error
+// interleaving: request 0 is parked inside its worker until the caller
+// cancels the batch, while request 1 — already past Run's context check — is
+// held until request 0's cancellation has been recorded, and only then fails
+// with a genuine input error. The caller must still receive request 1's
+// indexed error, not the bare (or request-0-attributed) context.Canceled
+// that arrived first.
+func TestRunBatchPrefersRequestErrorOverCancel(t *testing.T) {
+	_, _, _, inputs, p := buildToyProgram(t, WithWorkers(2), WithBatchedExecution(false))
+	badIn := NewTensor(3, 32, 32)
+	reqs := []map[int]*Tensor{inputs, {99: badIn}} // node 99 does not exist
+
+	pctx, pcancel := context.WithCancel(context.Background())
+	defer pcancel()
+
+	claimed0 := make(chan struct{})
+	entered1 := make(chan struct{})
+	recorded0 := make(chan struct{})
+	var once0, once1, onceRec sync.Once
+
+	testHookBatchClaim = func(i int) {
+		if i == 0 {
+			once0.Do(func() { close(claimed0) })
+			<-pctx.Done() // hold request 0 until the caller cancels the batch
+		}
+	}
+	testHookRunStart = func(ctx context.Context, in map[int]*Tensor) {
+		if _, ok := in[99]; ok {
+			once1.Do(func() { close(entered1) })
+			<-recorded0 // request 0's cancellation must be recorded first
+		}
+	}
+	testHookBatchFail = func(i int) {
+		if i == 0 {
+			onceRec.Do(func() { close(recorded0) })
+		}
+	}
+	defer func() {
+		testHookBatchClaim, testHookRunStart, testHookBatchFail = nil, nil, nil
+	}()
+
+	var (
+		outs []map[int]*Tensor
+		err  error
+		done = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		outs, err = p.RunBatch(pctx, reqs)
+	}()
+	<-claimed0 // request 0 parked inside its worker
+	<-entered1 // request 1 past the context check, about to fail for real
+	pcancel()  // cancellation now races the genuine failure — and must lose
+	<-done
+
+	if outs != nil {
+		t.Fatalf("outs = %v alongside error, want nil", outs)
+	}
+	if err == nil || !strings.Contains(err.Error(), "request 1") || !strings.Contains(err.Error(), "unknown node 99") {
+		t.Fatalf("err = %v, want request 1's unknown-node error", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want the genuine request error, not cancellation", err)
+	}
+}
+
+// TestRunBatchBatchedBitIdentity drives the batched kernel path under the
+// fan-out pool (run with -race) and requires every result to be bit-identical
+// to a sequential Run of the same request. The second round reuses pooled
+// BatchStates. The stats counters prove the batched path actually served the
+// requests rather than silently falling back.
+func TestRunBatchBatchedBitIdentity(t *testing.T) {
+	ctx := context.Background()
+	_, _, _, _, p := buildToyProgram(t, WithWorkers(8))
+
+	const n = 24
+	reqs := make([]map[int]*Tensor, n)
+	want := make([]map[int]*Tensor, n)
+	for i := range reqs {
+		in := NewTensor(3, 32, 32)
+		in.Rand(uint64(1000+i), 1)
+		reqs[i] = map[int]*Tensor{0: in}
+		out, err := p.Run(ctx, reqs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = out
+	}
+	before := p.Stats()
+	for round := 0; round < 2; round++ {
+		outs, err := p.RunBatch(ctx, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(outs) != n {
+			t.Fatalf("round %d: got %d results, want %d", round, len(outs), n)
+		}
+		for i := range outs {
+			sameOutputs(t, outs[i], want[i])
+		}
+	}
+	st := p.Stats()
+	if got := st.BatchedRequests - before.BatchedRequests; got != 2*n {
+		t.Fatalf("BatchedRequests grew by %d, want %d (batched path did not engage)", got, 2*n)
+	}
+	if st.BatchRuns == before.BatchRuns {
+		t.Fatal("BatchRuns did not grow")
+	}
+}
+
+// TestRunBatchRaggedShapeFallback mixes two input signatures so no group
+// reaches two lanes per worker: RunBatch must fall back to per-request
+// execution (BatchedRequests stays flat) and still return correct,
+// request-ordered results.
+func TestRunBatchRaggedShapeFallback(t *testing.T) {
+	ctx := context.Background()
+	_, g, _, inputs, p := buildToyProgram(t, WithWorkers(4))
+	ref, err := p.Run(ctx, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outID := g.Outputs()[0]
+	aux := NewTensor(ref[outID].Shape()...) // zeros; overwritten during execution
+
+	const n = 6
+	reqs := make([]map[int]*Tensor, n)
+	want := make([]map[int]*Tensor, n)
+	for i := range reqs {
+		in := NewTensor(3, 32, 32)
+		in.Rand(uint64(2000+i), 1)
+		if i%2 == 0 {
+			reqs[i] = map[int]*Tensor{0: in}
+		} else {
+			reqs[i] = map[int]*Tensor{0: in, outID: aux}
+		}
+		out, err := p.Run(ctx, reqs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = out
+	}
+	before := p.Stats()
+	outs, err := p.RunBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range outs {
+		sameOutputs(t, outs[i], want[i])
+	}
+	if d := p.Stats().BatchedRequests - before.BatchedRequests; d != 0 {
+		t.Fatalf("ragged batch served %d requests on the batched path, want per-request fallback", d)
+	}
+}
+
+// TestRunBatchSingleRequestFallsBack pins batch size 1 to the per-request
+// path with output equivalence.
+func TestRunBatchSingleRequestFallsBack(t *testing.T) {
+	ctx := context.Background()
+	_, _, _, inputs, p := buildToyProgram(t, WithWorkers(4))
+	want, err := p.Run(ctx, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.Stats()
+	outs, err := p.RunBatch(ctx, []map[int]*Tensor{inputs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 {
+		t.Fatalf("got %d results, want 1", len(outs))
+	}
+	sameOutputs(t, outs[0], want)
+	if d := p.Stats().BatchedRequests - before.BatchedRequests; d != 0 {
+		t.Fatalf("batch of one served %d requests on the batched path, want 0", d)
+	}
+}
+
+// FuzzBatchedRun drives random (model, arch, seed, batch) points through
+// RunBatch with a single worker — forcing each same-shaped group into one
+// micro-batch on the compiled kernels — and requires every lane's output to
+// match a per-request Run byte for byte.
+func FuzzBatchedRun(f *testing.F) {
+	models := []string{"conv-relu", "mlp", "lenet5"}
+	archs := []string{"isaac-baseline", "puma", "toy-table2"}
+	f.Add(uint8(0), uint8(2), uint64(1), uint8(2))
+	f.Add(uint8(1), uint8(2), uint64(7), uint8(1))
+	f.Add(uint8(2), uint8(0), uint64(3), uint8(3))
+	f.Fuzz(func(t *testing.T, mi, ai uint8, seed uint64, nb uint8) {
+		model := models[int(mi)%len(models)]
+		archName := archs[int(ai)%len(archs)]
+		lanes := int(nb)%5 + 2
+		ctx := context.Background()
+
+		g, err := Model(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Preset(archName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := New(a, WithCache(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := RandomWeights(g, seed|1)
+		calib := map[int]*Tensor{}
+		for _, id := range g.InputIDs() {
+			tt := NewTensor(g.MustNode(id).OutShape...)
+			tt.Rand(seed+uint64(id), 1)
+			calib[id] = tt
+		}
+		p, err := c.Build(ctx, g, w, CodegenOptions{}, WithCalibration(calib), WithWorkers(1))
+		if err != nil {
+			t.Fatalf("%s/%s seed %d: build: %v", model, archName, seed, err)
+		}
+
+		reqs := make([]map[int]*Tensor, lanes)
+		want := make([]map[int]*Tensor, lanes)
+		for i := range reqs {
+			req := map[int]*Tensor{}
+			for _, id := range g.InputIDs() {
+				tt := NewTensor(g.MustNode(id).OutShape...)
+				tt.Rand(seed+uint64(31*i+id+1), 1)
+				req[id] = tt
+			}
+			reqs[i] = req
+			out, err := p.Run(ctx, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = out
+		}
+		before := p.Stats()
+		outs, err := p.RunBatch(ctx, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range outs {
+			sameOutputs(t, outs[i], want[i])
+		}
+		if d := p.Stats().BatchedRequests - before.BatchedRequests; d != uint64(lanes) {
+			t.Fatalf("%s/%s seed %d: %d of %d requests took the batched path", model, archName, seed, d, lanes)
+		}
+	})
+}

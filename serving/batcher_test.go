@@ -248,3 +248,55 @@ func TestBatcherBitIdenticalToDirectRun(t *testing.T) {
 		}
 	}
 }
+
+// TestBatcherEngagesBatchedKernels pins the Batcher→RunBatch handoff to the
+// batched kernel path: with a single-worker program, a full flush forms one
+// micro-batch, so the program's batched counters must cover every request —
+// and the outputs must still match direct Runs bit-for-bit.
+func TestBatcherEngagesBatchedKernels(t *testing.T) {
+	g, err := cimmlc.Model("conv-relu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := cimmlc.Preset("toy-table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cimmlc.New(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Build(context.Background(), g, cimmlc.RandomWeights(g, 43), cimmlc.CodegenOptions{}, cimmlc.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(p, BatcherConfig{MaxBatch: 4, MaxDelay: time.Hour})
+	defer b.Close()
+
+	const n = 4
+	results := submitN(t, b, n, func(i int) map[int]*cimmlc.Tensor { return testInput(uint64(100 + i)) })
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("request %d: %v", i, r.err)
+		}
+		want, err := p.Run(context.Background(), testInput(uint64(100+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id, wt := range want {
+			gt := r.outs[id]
+			if gt == nil {
+				t.Fatalf("request %d missing output node %d", i, id)
+			}
+			wd, gd := wt.Data(), gt.Data()
+			for j := range wd {
+				if wd[j] != gd[j] {
+					t.Fatalf("request %d node %d element %d: batched %v != direct %v", i, id, j, gd[j], wd[j])
+				}
+			}
+		}
+	}
+	if st := p.Stats(); st.BatchedRequests < n {
+		t.Fatalf("BatchedRequests = %d, want at least %d (batched path did not engage)", st.BatchedRequests, n)
+	}
+}
