@@ -129,6 +129,12 @@ const (
 	TargetHost = graph.TargetHost
 )
 
+// ErrOverCapacity reports that a model's crossbar footprint exceeds one
+// chip under WithStationaryWeights: serving it on a single chip would
+// require weight reloading. Detect it with errors.Is and fall back to
+// multi-chip pipelining (Compiler.BuildPipeline, serving/fleet).
+var ErrOverCapacity = cg.ErrOverCapacity
+
 // Duplication-search strategies for WithAllocator.
 const (
 	AllocDP        = cg.AllocDP

@@ -10,6 +10,7 @@
 //	cimbench -flows fig16    # print the full Figure-16 flows
 //	cimbench -serving -json  # compile-once serving smoke (CI artifact)
 //	cimbench -loadgen -json  # micro-batching vs per-request load generator
+//	cimbench -loadgen -fleet -json  # fleet serving: 1 replica vs -fleet-replicas
 //	cimbench -batchsweep -json  # batched-kernel throughput vs micro-batch size
 //	cimbench -conform        # cross-level conformance matrix vs goldens
 //	cimbench -conform -conform-full -json  # full-zoo sweep, CI artifact
@@ -50,6 +51,9 @@ func main() {
 	loadgenReqs := flag.Int("loadgen-requests", 256, "requests per path in -loadgen")
 	loadgenClients := flag.Int("loadgen-clients", 16, "concurrent clients hitting the batcher in -loadgen")
 	loadgenBatch := flag.Int("loadgen-batch", 8, "micro-batch size trigger in -loadgen")
+	fleetgen := flag.Bool("fleet", false, "with -loadgen: compare a 1-replica fleet against -fleet-replicas")
+	fleetReplicas := flag.Int("fleet-replicas", 4, "scaled fleet size in -loadgen -fleet")
+	fleetGate := flag.Bool("fleet-gate", false, "with -loadgen -fleet: exit non-zero when the scaled fleet is slower on a multicore host")
 	flag.Parse()
 
 	if *list {
@@ -94,7 +98,13 @@ func main() {
 		return
 	}
 	if *loadgen {
-		if err := runLoadgen(*servingModel, *servingArch, *loadgenReqs, *loadgenClients, *loadgenBatch, *jsonOut); err != nil {
+		var err error
+		if *fleetgen {
+			err = runFleetgen(*servingModel, *servingArch, *loadgenReqs, *loadgenClients, *loadgenBatch, *fleetReplicas, *fleetGate, *jsonOut)
+		} else {
+			err = runLoadgen(*servingModel, *servingArch, *loadgenReqs, *loadgenClients, *loadgenBatch, *jsonOut)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "cimbench: %v\n", err)
 			os.Exit(1)
 		}

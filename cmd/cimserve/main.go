@@ -8,11 +8,18 @@
 //	cimserve -addr :9000 -max-batch 16           # tune the batcher
 //	cimserve -arch-file my-accelerator.json      # register a user arch
 //	cimserve -preload conv-relu:toy-table2       # build before first request
+//	cimserve -replicas 2 -max-replicas 8         # fleet: 2 chips/model, autoscaling to 8
+//
+// With -replicas N (N ≥ 1) each (model, arch) pair is served by a fleet of
+// N simulated chip replicas behind a least-loaded router; -max-replicas M
+// (M > N) additionally lets queue depth autoscale the fleet up to M chips.
+// Models too large for one chip are served by cross-chip pipelining.
 //
 // Routes:
 //
 //	GET  /healthz    liveness (503 while draining)
 //	GET  /v1/models  servable models, archs and resident programs
+//	GET  /v1/fleet   per-(model, arch) fleet state (empty without -replicas)
 //	POST /v1/archs   register a user architecture (body: arch JSON)
 //	POST /v1/run     run one inference (body: serving.RunRequest JSON)
 //
@@ -38,6 +45,7 @@ import (
 	"time"
 
 	"cimmlc/serving"
+	"cimmlc/serving/fleet"
 )
 
 func main() {
@@ -48,18 +56,29 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout, queueing included")
 	seed := flag.Uint64("weight-seed", 42, "seed for the zoo models' deterministic weights")
 	hostFallback := flag.Bool("host-fallback", true, "partition models with host-only operators onto the host CPU")
+	replicas := flag.Int("replicas", 0, "chip replicas per (model, arch); 0 serves one batcher per pair with no fleet")
+	maxReplicas := flag.Int("max-replicas", 0, "autoscaling ceiling for -replicas fleets (0 = fixed at -replicas)")
 	var archFiles, preloads stringList
 	flag.Var(&archFiles, "arch-file", "architecture JSON file to register (repeatable)")
 	flag.Var(&preloads, "preload", "model:arch pair to build at startup (repeatable)")
 	flag.Parse()
 
-	if err := run(*addr, *maxBatch, *maxDelay, *queue, *timeout, *seed, *hostFallback, archFiles, preloads); err != nil {
+	if err := run(*addr, *maxBatch, *maxDelay, *queue, *timeout, *seed, *hostFallback, *replicas, *maxReplicas, archFiles, preloads); err != nil {
 		fmt.Fprintf(os.Stderr, "cimserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, maxBatch int, maxDelay time.Duration, queue int, timeout time.Duration, seed uint64, hostFallback bool, archFiles, preloads []string) error {
+func run(addr string, maxBatch int, maxDelay time.Duration, queue int, timeout time.Duration, seed uint64, hostFallback bool, replicas, maxReplicas int, archFiles, preloads []string) error {
+	if replicas < 0 || maxReplicas < 0 {
+		return fmt.Errorf("-replicas and -max-replicas must be non-negative")
+	}
+	if maxReplicas > 0 && replicas == 0 {
+		return fmt.Errorf("-max-replicas requires -replicas")
+	}
+	if maxReplicas > 0 && maxReplicas < replicas {
+		return fmt.Errorf("-max-replicas %d < -replicas %d", maxReplicas, replicas)
+	}
 	regOpts := []serving.RegistryOption{serving.WithWeightSeed(seed)}
 	if hostFallback {
 		regOpts = append(regOpts, serving.WithHostFallback())
@@ -76,10 +95,17 @@ func run(addr string, maxBatch int, maxDelay time.Duration, queue int, timeout t
 		}
 		fmt.Printf("registered architecture %q from %s\n", name, f)
 	}
-	gw := serving.NewServer(reg, serving.ServerConfig{
-		Batch:          serving.BatcherConfig{MaxBatch: maxBatch, MaxDelay: maxDelay, Queue: queue},
-		RequestTimeout: timeout,
-	})
+	batch := serving.BatcherConfig{MaxBatch: maxBatch, MaxDelay: maxDelay, Queue: queue}
+	cfg := serving.ServerConfig{Batch: batch, RequestTimeout: timeout}
+	if replicas > 0 {
+		cfg.Runner = fleet.Factory(fleet.Config{
+			Replicas:    replicas,
+			MinReplicas: replicas,
+			MaxReplicas: maxReplicas, // 0 defaults to Replicas (fixed size)
+			Batcher:     batch,
+		})
+	}
+	gw := serving.NewServer(reg, cfg)
 	for _, p := range preloads {
 		model, arch, ok := strings.Cut(p, ":")
 		if !ok {
@@ -95,7 +121,16 @@ func run(addr string, maxBatch int, maxDelay time.Duration, queue int, timeout t
 	srv := &http.Server{Addr: addr, Handler: gw.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("cimserve listening on %s (batch %d, delay %v)\n", addr, maxBatch, maxDelay)
+	if replicas > 0 {
+		ceiling := maxReplicas
+		if ceiling == 0 {
+			ceiling = replicas
+		}
+		fmt.Printf("cimserve listening on %s (batch %d, delay %v, fleet %d-%d replicas)\n",
+			addr, maxBatch, maxDelay, replicas, ceiling)
+	} else {
+		fmt.Printf("cimserve listening on %s (batch %d, delay %v)\n", addr, maxBatch, maxDelay)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

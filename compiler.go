@@ -135,6 +135,17 @@ func WithFlowOpt() Option { return func(c *Compiler) { c.opt.FlowOpt = true } }
 // bit-identically whether or not this option is set.
 func WithHostFallback() Option { return func(c *Compiler) { c.opt.HostFallback = true } }
 
+// WithStationaryWeights forbids weight reloading during execution — the
+// serving-grade constraint of real CIM deployments, where reprogramming NVM
+// cells per request costs write latency and endurance. A model whose
+// crossbar footprint exceeds one chip then fails to compile with an error
+// matching ErrOverCapacity (errors.Is), instead of falling back to the
+// reload-based escape hatches (resource-adaptive segmentation, multi-round
+// operators). Models that fit compile exactly as without the option.
+// Over-capacity models can still be served by splitting them across chips:
+// see Compiler.BuildPipeline and the serving/fleet package.
+func WithStationaryWeights() Option { return func(c *Compiler) { c.opt.Stationary = true } }
+
 // WithCache sets the artifact-cache capacity in entries; 0 disables caching.
 func WithCache(n int) Option { return func(c *Compiler) { c.cap = n } }
 
@@ -396,7 +407,7 @@ func optionFingerprint(opt core.Options, passes []core.Pass) string {
 		b := opt.Tune.Normalized()
 		tune = fmt.Sprintf("c%d.b%d.r%d", b.MaxCandidates, b.Beam, b.MaxRounds)
 	}
-	return fmt.Sprintf("p=%t,d=%t,s=%t,r=%t,max=%s,alloc=%s,tune=%s,verify=%t,flowopt=%t,hostfb=%t,passes=%v",
+	return fmt.Sprintf("p=%t,d=%t,s=%t,r=%t,max=%s,alloc=%s,tune=%s,verify=%t,flowopt=%t,hostfb=%t,stat=%t,passes=%v",
 		opt.DisablePipeline, opt.DisableDuplication, opt.DisableStagger, opt.DisableRemap,
-		opt.MaxLevel, opt.Allocator, tune, opt.VerifyIR, opt.FlowOpt, opt.HostFallback, names)
+		opt.MaxLevel, opt.Allocator, tune, opt.VerifyIR, opt.FlowOpt, opt.HostFallback, opt.Stationary, names)
 }

@@ -34,6 +34,10 @@ type Options struct {
 	Pipeline  bool      // enable inter-operator pipelining
 	Duplicate bool      // enable the duplication search
 	Allocator Allocator // empty means AllocDP
+	// Stationary forbids weight reloading: a model whose footprint exceeds
+	// one chip fails with ErrOverCapacity instead of being segmented (or
+	// multi-rounded) onto reprogrammed crossbars.
+	Stationary bool
 }
 
 // opInfo caches the per-operator quantities the optimizer needs.

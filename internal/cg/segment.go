@@ -1,12 +1,21 @@
 package cg
 
 import (
+	"errors"
 	"fmt"
 
 	"cimmlc/internal/arch"
 	"cimmlc/internal/cost"
 	"cimmlc/internal/graph"
 )
+
+// ErrOverCapacity reports that a model's crossbar footprint exceeds one
+// chip under the stationary-weights constraint: serving it on a single chip
+// would require weight reloading (segmentation or multi-round operators),
+// which Options.Stationary forbids. Callers detect it with errors.Is and
+// fall back to multi-chip pipelining (see the root package's BuildPipeline
+// and serving/fleet).
+var ErrOverCapacity = errors.New("model exceeds single-chip crossbar capacity")
 
 // segment implements the resource-adaptive compute graph segmentation of
 // Figure 9(b). When the whole model fits the chip it returns one segment.
@@ -30,6 +39,15 @@ func segment(g *graph.Graph, a *arch.Arch, m *cost.Model, infos map[int]opInfo, 
 	}
 	if totalCores <= coreCount && !anyOversized {
 		return [][]int{order}, nil
+	}
+	if opt.Stationary {
+		// Serving-grade compilation: weights stay resident for the program's
+		// lifetime, so the reload-based escape hatches (segment reprogramming,
+		// multi-round operators) are not available.
+		if anyOversized {
+			return nil, fmt.Errorf("cg: an operator needs more crossbars than the whole chip: %w", ErrOverCapacity)
+		}
+		return nil, fmt.Errorf("cg: model needs %d cores but the chip has %d: %w", totalCores, coreCount, ErrOverCapacity)
 	}
 
 	reload := float64(a.XB.Rows) * a.XB.Device.Profile().WriteLatency

@@ -12,7 +12,7 @@ import (
 func allLevels() []cimmlc.Mode { return []cimmlc.Mode{cimmlc.CM, cimmlc.XBM, cimmlc.WLM} }
 
 // execModels are the models cheap enough to push through the full
-// bit-identity battery (functional simulation across five paths) on every
+// bit-identity battery (functional simulation across every serving path) on every
 // run. Larger models are covered by the compile-level digests.
 func execModels() []string { return []string{"conv-relu", "mlp", "lenet5"} }
 

@@ -5,7 +5,8 @@
 //
 //  1. Bit-identity — all execution paths the system exposes (the deprecated
 //     one-shot Compiler.Run, Program.Run, concurrent Program.RunBatch, the
-//     serving Batcher, and the HTTP /v1/run gateway) produce identical
+//     serving Batcher, the HTTP /v1/run gateway and a replicated serving
+//     fleet) produce identical
 //     output bits for seeded inputs, and the functional simulation matches
 //     the quantized reference executor (Program.Verify). Outputs are also
 //     bit-identical across levels of the same machine: the scheduling

@@ -18,6 +18,7 @@ import (
 
 	"cimmlc"
 	"cimmlc/serving"
+	"cimmlc/serving/fleet"
 )
 
 // runExecBattery runs one cell's seeded requests through every execution
@@ -32,6 +33,7 @@ import (
 //     counters proving the batched path served every request
 //   - a serving.Batcher flushed by concurrent client goroutines
 //   - HTTP POST /v1/run against the gateway with JSON tensors
+//   - a 2-replica serving fleet routing the concurrent requests
 //
 // plus Program.Verify, the differential check against the quantized
 // reference executor and the float reference, and a sixth leg: the same cell
@@ -295,6 +297,35 @@ func runHTTPPath(ctx context.Context, g *cimmlc.Graph, a *cimmlc.Arch, w cimmlc.
 		}
 		if d := firstOutputDiff(got, base[i]); d != "" {
 			violations = append(violations, fmt.Sprintf("%s: HTTP /v1/run request %d diverges: %s", key, i, d))
+		}
+	}
+
+	// Fleet path: the same registry behind a 2-replica fleet. Replicas build
+	// independently from the shared deterministic source, so however the
+	// router spreads the concurrent requests the outputs must stay
+	// bit-identical to the reference.
+	fl, err := fleet.New(ctx, reg, fleet.Config{Model: cell.Model, Arch: archName, Replicas: 2,
+		Batcher: serving.BatcherConfig{MaxBatch: 2, MaxDelay: 200 * time.Microsecond}})
+	if err != nil {
+		return append(violations, fmt.Sprintf("%s: fleet build: %v", key, err))
+	}
+	defer fl.Close()
+	fOuts := make([]map[int]*cimmlc.Tensor, len(reqs))
+	fErrs := make([]error, len(reqs))
+	var fwg sync.WaitGroup
+	for i := range reqs {
+		fwg.Add(1)
+		go func(i int) {
+			defer fwg.Done()
+			fOuts[i], fErrs[i] = fl.Do(ctx, reqs[i])
+		}(i)
+	}
+	fwg.Wait()
+	for i := range reqs {
+		if fErrs[i] != nil {
+			violations = append(violations, fmt.Sprintf("%s: fleet request %d: %v", key, i, fErrs[i]))
+		} else if d := firstOutputDiff(fOuts[i], base[i]); d != "" {
+			violations = append(violations, fmt.Sprintf("%s: fleet request %d diverges: %s", key, i, d))
 		}
 	}
 	return violations

@@ -57,6 +57,11 @@ type Options struct {
 	// the host executor. Fully supported graphs are unaffected: they
 	// compile monolithically whether or not this is set.
 	HostFallback bool
+	// Stationary forbids weight reloading during execution: models whose
+	// crossbar footprint exceeds one chip fail with cg.ErrOverCapacity
+	// instead of compiling to segmented (reprogrammed) schedules. Serving
+	// fleets set it so over-capacity models route to multi-chip pipelining.
+	Stationary bool
 }
 
 // Result bundles everything the compiler produced.

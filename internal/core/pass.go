@@ -179,9 +179,10 @@ func (cgPass) Name() string              { return PassCG }
 func (cgPass) Applicable(arch.Mode) bool { return true }
 func (cgPass) Run(ctx context.Context, pc *PassContext) error {
 	s, err := cg.Optimize(pc.Graph, pc.Arch, pc.Model, cg.Options{
-		Pipeline:  !pc.Opt.DisablePipeline,
-		Duplicate: !pc.Opt.DisableDuplication,
-		Allocator: pc.Opt.Allocator,
+		Pipeline:   !pc.Opt.DisablePipeline,
+		Duplicate:  !pc.Opt.DisableDuplication,
+		Allocator:  pc.Opt.Allocator,
+		Stationary: pc.Opt.Stationary,
 	})
 	if err != nil {
 		return err

@@ -111,10 +111,6 @@ func Partition(g *graph.Graph, opts Options) (*Plan, error) {
 	}
 
 	// Group consecutive same-target runs in ID (topological) order.
-	type run struct {
-		target graph.Target
-		ids    []int
-	}
 	var runs []run
 	for id := range gc.Nodes {
 		if len(runs) > 0 && runs[len(runs)-1].target == tgt[id] {
@@ -176,7 +172,20 @@ func Partition(g *graph.Graph, opts Options) (*Plan, error) {
 	for id, n := range gc.Nodes {
 		n.Target = tgt[id]
 	}
+	return assemble(gc, runs)
+}
 
+// run is one maximal single-target (or single-chip) stretch of node IDs in
+// topological order, the unit assemble turns into a Subgraph.
+type run struct {
+	target graph.Target
+	ids    []int
+}
+
+// assemble turns the grouped runs into a Plan: every run becomes a
+// self-contained Subgraph, and every edge crossing a run boundary becomes a
+// costed Transfer (one per {producer, consuming run} pair).
+func assemble(gc *graph.Graph, runs []run) (*Plan, error) {
 	// subOf maps every global node to its subgraph index.
 	subOf := make([]int, len(gc.Nodes))
 	for i, r := range runs {

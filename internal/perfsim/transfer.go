@@ -16,6 +16,12 @@ const (
 	// the aggregate report (hostexec.Ops / HostALUOpsPerCycle).
 	HostALUOpsPerCycle = 8.0
 
+	// ChipLinkLatencyCycles is the fixed per-transfer setup latency of the
+	// chip-to-chip link, in chip cycles. Chips on the same board talk over
+	// the top tier of the NoC hierarchy (§2's chip-level interconnect), so
+	// the setup cost is a fraction of the host-link DMA round trip.
+	ChipLinkLatencyCycles = 50.0
+
 	transferBitsPerElem = 32 // host tensors are float32
 	flitBits            = 64 // core NoC flit width
 )
@@ -26,6 +32,21 @@ const (
 func TransferCost(a *arch.Arch, elems int64) float64 {
 	bits := float64(elems) * transferBitsPerElem
 	c := HostLinkLatencyCycles
+	if a.Chip.L0BW > 0 {
+		c += bits / a.Chip.L0BW
+	}
+	c += bits / flitBits * a.Chip.CoreNoCCost
+	return c
+}
+
+// ChipTransferCost returns the modelled cycle cost of moving elems tensor
+// elements between two chips of a multi-chip fleet: fixed chip-link latency
+// + global-buffer bandwidth + core-NoC injection. Same bandwidth terms as
+// TransferCost — the tensor still drains through the producing chip's global
+// buffer and NoC — but the lower chip-link setup latency.
+func ChipTransferCost(a *arch.Arch, elems int64) float64 {
+	bits := float64(elems) * transferBitsPerElem
+	c := ChipLinkLatencyCycles
 	if a.Chip.L0BW > 0 {
 		c += bits / a.Chip.L0BW
 	}

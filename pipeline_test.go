@@ -1,0 +1,162 @@
+package cimmlc
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cimmlc/internal/tensor"
+)
+
+// smallChipCompiler returns a compiler for a jia-isscc21 variant shrunk to 8
+// cores — the zoo mlp needs 13 in total (largest operator 8), so it overflows
+// one chip without any single operator overflowing it.
+func smallChipCompiler(t *testing.T, copts ...Option) (*Compiler, *Graph, Weights, map[int]*Tensor) {
+	t.Helper()
+	a, err := Preset("jia-isscc21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Chip.CoreRows, a.Chip.CoreCols = 2, 4
+	c, err := New(a, copts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Model("mlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := RandomWeights(g, 7)
+	in := NewTensor(g.MustNode(0).OutShape...)
+	in.Rand(11, 1)
+	return c, g, w, map[int]*Tensor{0: in}
+}
+
+// TestStationaryBuildFailsOverCapacity pins the serving-grade capacity
+// contract: under WithStationaryWeights an over-capacity model must fail
+// Build with ErrOverCapacity instead of silently falling back to weight
+// reloading, while a fitting model still builds.
+func TestStationaryBuildFailsOverCapacity(t *testing.T) {
+	ctx := context.Background()
+	c, g, w, inputs := smallChipCompiler(t, WithStationaryWeights())
+	_, err := c.Build(ctx, g, w, CodegenOptions{}, WithCalibration(inputs))
+	if !errors.Is(err, ErrOverCapacity) {
+		t.Fatalf("Build err = %v, want ErrOverCapacity", err)
+	}
+	// The same compiler still serves models that fit.
+	small, err := Model("conv-relu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := RandomWeights(small, 1)
+	if _, err := c.Build(ctx, small, sw, CodegenOptions{}); err != nil {
+		t.Fatalf("fitting model rejected under WithStationaryWeights: %v", err)
+	}
+	// Without the option the over-capacity model builds via segmentation.
+	c2, g2, w2, inputs2 := smallChipCompiler(t)
+	if _, err := c2.Build(ctx, g2, w2, CodegenOptions{}, WithCalibration(inputs2)); err != nil {
+		t.Fatalf("non-stationary build failed: %v", err)
+	}
+}
+
+// TestPipelineServesOverCapacityModel is the cross-chip acceptance path: the
+// model WithStationaryWeights rejects serves successfully as a multi-chip
+// pipeline, its outputs within float tolerance of the reference, and
+// stage-wise execution (the fleet path) bit-identical to Pipeline.Run.
+func TestPipelineServesOverCapacityModel(t *testing.T) {
+	ctx := context.Background()
+	c, g, w, inputs := smallChipCompiler(t, WithStationaryWeights())
+	pl, err := c.BuildPipeline(ctx, g, w, CodegenOptions{}, 0, WithCalibration(inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Stages() < 2 {
+		t.Fatalf("over-capacity model built %d stages, want ≥ 2", pl.Stages())
+	}
+	if err := pl.Verify(ctx, inputs, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	want, err := pl.Run(ctx, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(g.Outputs()) {
+		t.Fatalf("Run returned %d tensors, want %d graph outputs", len(want), len(g.Outputs()))
+	}
+
+	// Fleet-style stage-wise execution through RunStage + StageBoundary.
+	env := map[int]*Tensor{0: inputs[0]}
+	for i := 0; i < pl.Stages(); i++ {
+		needs, exports := pl.StageBoundary(i)
+		for _, gid := range needs {
+			if _, ok := env[gid]; !ok {
+				t.Fatalf("stage %d needs node %d before it is produced", i, gid)
+			}
+		}
+		out, err := pl.RunStage(ctx, i, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(exports) {
+			t.Fatalf("stage %d exported %d tensors, want %d", i, len(out), len(exports))
+		}
+		for gid, tt := range out {
+			env[gid] = tt
+		}
+	}
+	for id, wt := range want {
+		if !tensor.AllClose(env[id], wt, 0) {
+			t.Fatalf("stage-wise output %d diverges from Pipeline.Run", id)
+		}
+	}
+
+	st := pl.Stats()
+	if st.Stages != pl.Stages() || len(st.StageCores) != st.Stages || len(st.StageCycles) != st.Stages {
+		t.Fatalf("stats shape mismatch: %+v", st)
+	}
+	if st.Transfers == 0 || st.TransferElems <= 0 || st.TransferCycles <= 0 {
+		t.Fatalf("multi-chip pipeline reports no transfer costs: %+v", st)
+	}
+	for i, cores := range st.StageCores {
+		if cores <= 0 || cores > 8 {
+			t.Fatalf("stage %d cores = %d, want in (0,8]", i, cores)
+		}
+	}
+	// Run + Verify's internal Run + the stage-wise pass each count once.
+	if st.Requests != 3 {
+		t.Fatalf("requests = %d, want 3", st.Requests)
+	}
+}
+
+// TestPipelineSingleStageMatchesProgram pins the degenerate case: a model
+// that fits one chip builds a one-stage pipeline whose outputs are
+// bit-identical to the monolithic Program's.
+func TestPipelineSingleStageMatchesProgram(t *testing.T) {
+	ctx := context.Background()
+	c, g, w, inputs, p := buildToyProgram(t)
+	pl, err := c.BuildPipeline(ctx, g, w, CodegenOptions{}, 0, WithCalibration(inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Stages() != 1 {
+		t.Fatalf("fitting model built %d stages, want 1", pl.Stages())
+	}
+	want, err := p.Run(ctx, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pl.Run(ctx, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOutputs(t, got, want)
+}
+
+// TestBuildPipelineMaxChips bounds the fleet's chip budget.
+func TestBuildPipelineMaxChips(t *testing.T) {
+	ctx := context.Background()
+	c, g, w, inputs := smallChipCompiler(t, WithStationaryWeights())
+	if _, err := c.BuildPipeline(ctx, g, w, CodegenOptions{}, 1, WithCalibration(inputs)); err == nil {
+		t.Fatal("maxChips=1 accepted a model needing several chips")
+	}
+}

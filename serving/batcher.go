@@ -85,6 +85,7 @@ type Batcher struct {
 	closing   chan struct{}
 	done      chan struct{}
 	closeOnce sync.Once
+	fallbackW sync.WaitGroup // isolation-fallback goroutines in flight
 
 	requests  atomic.Uint64
 	batches   atomic.Uint64
@@ -182,8 +183,21 @@ func (b *Batcher) Stats() BatcherStats {
 // Program returns the program the batcher serves.
 func (b *Batcher) Program() *cimmlc.Program { return b.p }
 
+// Depth reports the number of requests queued but not yet claimed by the
+// batching loop — the backlog signal fleet autoscalers act on.
+func (b *Batcher) Depth() int { return len(b.submit) }
+
+// Inputs reports the underlying program's input schema (node ID → shape).
+func (b *Batcher) Inputs() map[int][]int { return b.p.Inputs() }
+
 func (b *Batcher) loop() {
-	defer close(b.done)
+	// The done close must wait for detached isolation-fallback goroutines:
+	// Do treats a closed done channel with no buffered reply as "request
+	// never seen" (ErrClosed), so every reply must be in flight first.
+	defer func() {
+		b.fallbackW.Wait()
+		close(b.done)
+	}()
 	var pending []*batchReq
 	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
@@ -250,7 +264,10 @@ func (b *Batcher) loop() {
 				case r := <-b.submit:
 					pending = append(pending, r)
 					if len(pending) >= b.cfg.MaxBatch {
-						flush(&b.drainFl)
+						// A full batch during the drain is an ordinary
+						// size-triggered flush; only the final partial
+						// flush below is attributed to the drain.
+						flush(&b.sizeFl)
 					}
 					continue
 				default:
@@ -296,10 +313,17 @@ func (b *Batcher) runBatch(reqs []*batchReq) {
 		return
 	}
 	// Per-request error isolation: re-run individually so only the
-	// offending request observes its error.
+	// offending request observes its error. The re-runs detach onto their
+	// own goroutine — they execute serially per batch, and keeping them on
+	// the batching loop would head-of-line block every later batch behind
+	// one poisoned one.
 	b.fallbacks.Add(1)
-	for _, r := range live {
-		o, rerr := b.p.Run(r.ctx, r.inputs)
-		r.reply <- batchRes{outs: o, err: rerr}
-	}
+	b.fallbackW.Add(1)
+	go func() {
+		defer b.fallbackW.Done()
+		for _, r := range live {
+			o, rerr := b.p.Run(r.ctx, r.inputs)
+			r.reply <- batchRes{outs: o, err: rerr}
+		}
+	}()
 }

@@ -1,0 +1,294 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cimmlc"
+	"cimmlc/serving"
+)
+
+// fleetInput returns the deterministic request i for conv-relu.
+func fleetInput(i int) map[int]*cimmlc.Tensor {
+	in := cimmlc.NewTensor(3, 32, 32)
+	in.Rand(uint64(i)+1, 1)
+	return map[int]*cimmlc.Tensor{0: in}
+}
+
+// doAll fires n concurrent requests and returns outputs in request order.
+func doAll(t *testing.T, f *Fleet, n int, input func(i int) map[int]*cimmlc.Tensor) []map[int]*cimmlc.Tensor {
+	t.Helper()
+	outs := make([]map[int]*cimmlc.Tensor, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = f.Do(context.Background(), input(i))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	return outs
+}
+
+// sameBits fails unless got and want are bit-identical tensor maps.
+func sameBits(t *testing.T, label string, got, want map[int]*cimmlc.Tensor) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d outputs, want %d", label, len(got), len(want))
+	}
+	for id, wt := range want {
+		gt, ok := got[id]
+		if !ok {
+			t.Fatalf("%s: missing output node %d", label, id)
+		}
+		wd, gd := wt.Data(), gt.Data()
+		if len(wd) != len(gd) {
+			t.Fatalf("%s node %d: %d elements, want %d", label, id, len(gd), len(wd))
+		}
+		for j := range wd {
+			if wd[j] != gd[j] {
+				t.Fatalf("%s node %d element %d: %v != %v", label, id, j, gd[j], wd[j])
+			}
+		}
+	}
+}
+
+// TestFleetBitIdenticalAcrossReplicaCounts is the determinism acceptance
+// test (run under -race in CI): the same request set served by 1-replica and
+// 3-replica fleets — any routing, any interleaving — must produce outputs
+// bit-identical to each other and to a direct single-Program run.
+func TestFleetBitIdenticalAcrossReplicaCounts(t *testing.T) {
+	ctx := context.Background()
+	const n = 12
+
+	reg := serving.NewRegistry()
+	p, err := reg.Get(ctx, "conv-relu", "toy-table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]map[int]*cimmlc.Tensor, n)
+	for i := range want {
+		if want[i], err = p.Run(ctx, fleetInput(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, replicas := range []int{1, 3} {
+		f, err := New(ctx, reg, Config{Model: "conv-relu", Arch: "toy-table2", Replicas: replicas})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Mode() != "replicated" || f.Replicas() != replicas {
+			t.Fatalf("fleet mode=%s replicas=%d, want replicated/%d", f.Mode(), f.Replicas(), replicas)
+		}
+		outs := doAll(t, f, n, fleetInput)
+		for i := range outs {
+			sameBits(t, fmt.Sprintf("replicas=%d request %d", replicas, i), outs[i], want[i])
+		}
+		st := f.State()
+		if st.Requests != n {
+			t.Fatalf("fleet counted %d requests, want %d", st.Requests, n)
+		}
+		var served uint64
+		for _, rs := range st.Replicas {
+			served += rs.Served
+		}
+		if served != n {
+			t.Fatalf("replicas served %d requests in total, want %d (state: %+v)", served, n, st)
+		}
+		f.Close()
+		if _, err := f.Do(ctx, fleetInput(0)); err != serving.ErrClosed {
+			t.Fatalf("Do after Close = %v, want ErrClosed", err)
+		}
+	}
+}
+
+// TestFleetScaleUpAndDrainDown exercises the autoscaler round trip: a
+// backlog grows the fleet toward MaxReplicas, idleness shrinks it back to
+// MinReplicas, and the retiring replicas drain — no admitted request is
+// dropped or failed at any point.
+func TestFleetScaleUpAndDrainDown(t *testing.T) {
+	ctx := context.Background()
+	reg := serving.NewRegistry()
+	f, err := New(ctx, reg, Config{
+		Model: "conv-relu", Arch: "toy-table2",
+		Replicas: 1, MinReplicas: 1, MaxReplicas: 3,
+		ScaleInterval:      2 * time.Millisecond,
+		ScaleUpDepth:       1,
+		ScaleDownIdleTicks: 3,
+		Batcher:            serving.BatcherConfig{MaxBatch: 2, MaxDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Sustained load from looping submitters until the autoscaler observes
+	// the backlog; every request must succeed while the fleet scales
+	// underneath them.
+	var (
+		stopLoad = make(chan struct{})
+		loadWG   sync.WaitGroup
+	)
+	for i := 0; i < 16; i++ {
+		loadWG.Add(1)
+		go func(i int) {
+			defer loadWG.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stopLoad:
+					return
+				default:
+				}
+				if _, err := f.Do(ctx, fleetInput(i*1000+j)); err != nil {
+					t.Errorf("load request %d/%d: %v", i, j, err)
+					return
+				}
+			}
+		}(i)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for f.State().ScaleUps == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(stopLoad)
+	loadWG.Wait()
+	if grown := f.State(); grown.ScaleUps == 0 {
+		t.Fatalf("no scale-up under sustained backlog: %+v", grown)
+	}
+
+	// Idle long enough for the autoscaler to retire the extras, then verify
+	// the fleet still serves correctly at MinReplicas.
+	deadline = time.Now().Add(10 * time.Second)
+	for f.Replicas() > 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := f.Replicas(); got != 1 {
+		t.Fatalf("fleet did not drain down: %d replicas, want 1 (state %+v)", got, f.State())
+	}
+	if st := f.State(); st.ScaleDowns == 0 {
+		t.Fatalf("no scale-down recorded: %+v", st)
+	}
+	outs := doAll(t, f, 4, fleetInput)
+	p, err := reg.Get(ctx, "conv-relu", "toy-table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range outs {
+		want, err := p.Run(ctx, fleetInput(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameBits(t, fmt.Sprintf("post-drain request %d", i), outs[i], want)
+	}
+}
+
+// smallArch returns jia-isscc21 shrunk to 8 cores under a distinct name —
+// the zoo mlp (13 cores) overflows it, forcing the pipeline path.
+func smallArch(t *testing.T) *cimmlc.Arch {
+	t.Helper()
+	a, err := cimmlc.Preset("jia-isscc21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Name = "jia-small"
+	a.Chip.CoreRows, a.Chip.CoreCols = 2, 4
+	return a
+}
+
+// TestFleetPipelineServesOverCapacityModel is the cross-chip acceptance
+// path end to end: under stationary weights the mlp fails single-chip
+// placement, the fleet transparently builds pipeline replicas, and serves
+// with outputs bit-identical to a directly built Pipeline — regardless of
+// replica count and request interleaving.
+func TestFleetPipelineServesOverCapacityModel(t *testing.T) {
+	ctx := context.Background()
+	reg := serving.NewRegistry(serving.WithStationaryWeights())
+	if err := reg.RegisterArch(smallArch(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Single-chip placement must genuinely fail first.
+	if _, err := reg.BuildProgram(ctx, "mlp", "jia-small"); err == nil {
+		t.Fatal("mlp unexpectedly placed on the small chip; pipeline path untested")
+	}
+
+	pl, err := reg.BuildPipeline(ctx, "mlp", "jia-small", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Stages() < 2 {
+		t.Fatalf("reference pipeline has %d stages, want ≥ 2", pl.Stages())
+	}
+	const n = 8
+	input := func(i int) map[int]*cimmlc.Tensor {
+		in := cimmlc.NewTensor(784)
+		in.Rand(uint64(i)+100, 1)
+		return map[int]*cimmlc.Tensor{0: in}
+	}
+	want := make([]map[int]*cimmlc.Tensor, n)
+	for i := range want {
+		if want[i], err = pl.Run(ctx, input(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, replicas := range []int{1, 2} {
+		f, err := New(ctx, reg, Config{Model: "mlp", Arch: "jia-small", Replicas: replicas})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Mode() != "pipeline" {
+			t.Fatalf("fleet mode = %s, want pipeline", f.Mode())
+		}
+		if st := f.State(); st.Stages < 2 {
+			t.Fatalf("fleet reports %d stages, want ≥ 2", st.Stages)
+		}
+		outs := doAll(t, f, n, input)
+		for i := range outs {
+			sameBits(t, fmt.Sprintf("pipeline replicas=%d request %d", replicas, i), outs[i], want[i])
+		}
+		f.Close()
+	}
+}
+
+// TestFleetCloseDrainsInFlight pins the graceful-drain contract at
+// shutdown: requests admitted before Close complete successfully even when
+// Close races their execution.
+func TestFleetCloseDrainsInFlight(t *testing.T) {
+	ctx := context.Background()
+	reg := serving.NewRegistry()
+	f, err := New(ctx, reg, Config{Model: "conv-relu", Arch: "toy-table2", Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = f.Do(context.Background(), fleetInput(i))
+		}(i)
+	}
+	// Close while the requests are (most likely) in flight; admitted ones
+	// must drain, late ones must fail with ErrClosed — never hang or panic.
+	f.Close()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil && err != serving.ErrClosed {
+			t.Fatalf("request %d: %v (want success or ErrClosed)", i, err)
+		}
+	}
+}

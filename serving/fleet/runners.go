@@ -1,0 +1,175 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"cimmlc"
+	"cimmlc/serving"
+)
+
+// batcherRunner is the single-chip replica: one Program behind one dynamic
+// micro-batching queue.
+type batcherRunner struct {
+	b *serving.Batcher
+}
+
+func newBatcherRunner(p *cimmlc.Program, cfg serving.BatcherConfig) *batcherRunner {
+	return &batcherRunner{b: serving.NewBatcher(p, cfg)}
+}
+
+func (r *batcherRunner) do(ctx context.Context, inputs map[int]*cimmlc.Tensor) (map[int]*cimmlc.Tensor, error) {
+	return r.b.Do(ctx, inputs)
+}
+
+func (r *batcherRunner) depth() int            { return r.b.Depth() }
+func (r *batcherRunner) stages() int           { return 1 }
+func (r *batcherRunner) inputs() map[int][]int { return r.b.Inputs() }
+func (r *batcherRunner) close()                { r.b.Close() }
+
+// pipeJob is one request flowing through a pipeline replica's stages. env
+// accumulates boundary activations keyed by global node ID; exactly one
+// stage worker touches a job at a time, so no locking is needed.
+type pipeJob struct {
+	ctx   context.Context
+	env   map[int]*cimmlc.Tensor
+	reply chan pipeRes
+}
+
+type pipeRes struct {
+	outs map[int]*cimmlc.Tensor
+	err  error
+}
+
+// pipeRunner is the cross-chip replica: one cimmlc.Pipeline with a worker
+// goroutine per stage (per chip), connected by channels. Each chip processes
+// one request at a time, so k requests in flight occupy k consecutive
+// stages — stage i of request k+1 overlaps stage i+1 of request k, the
+// inter-request pipelining that hides all but the slowest stage's latency.
+type pipeRunner struct {
+	pl    *cimmlc.Pipeline
+	heads []chan *pipeJob // heads[i] feeds stage i
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup // jobs admitted but not yet finished
+	wg       sync.WaitGroup // stage workers
+}
+
+func newPipeRunner(pl *cimmlc.Pipeline) *pipeRunner {
+	n := pl.Stages()
+	r := &pipeRunner{pl: pl, heads: make([]chan *pipeJob, n)}
+	for i := range r.heads {
+		r.heads[i] = make(chan *pipeJob, 1)
+	}
+	for i := 0; i < n; i++ {
+		r.wg.Add(1)
+		go r.stageWorker(i)
+	}
+	return r
+}
+
+// stageWorker drives one chip: it pulls jobs from its head channel, runs its
+// stage, merges the exports into the job's environment, and hands the job to
+// the next chip (or answers the caller after the last stage). A job whose
+// context is already done, or that carries an upstream error, skips the
+// stage and propagates.
+func (r *pipeRunner) stageWorker(i int) {
+	defer r.wg.Done()
+	last := i == len(r.heads)-1
+	for job := range r.heads[i] {
+		if err := job.ctx.Err(); err != nil {
+			r.finish(job, pipeRes{err: err})
+			continue
+		}
+		exports, err := r.pl.RunStage(job.ctx, i, job.env)
+		if err != nil {
+			r.finish(job, pipeRes{err: err})
+			continue
+		}
+		for gid, t := range exports {
+			job.env[gid] = t
+		}
+		if last {
+			r.finish(job, collectOutputs(job.env, r.pl.Outputs()))
+			continue
+		}
+		r.heads[i+1] <- job
+	}
+	if !last {
+		close(r.heads[i+1])
+	}
+}
+
+// collectOutputs projects a finished job's environment onto the graph's
+// output nodes.
+func collectOutputs(env map[int]*cimmlc.Tensor, ids []int) pipeRes {
+	outs := make(map[int]*cimmlc.Tensor, len(ids))
+	for _, id := range ids {
+		t, ok := env[id]
+		if !ok {
+			return pipeRes{err: fmt.Errorf("fleet: pipeline output node %d was never computed", id)}
+		}
+		outs[id] = t
+	}
+	return pipeRes{outs: outs}
+}
+
+// finish answers a job's caller and retires it from the in-flight count. The
+// reply channel is buffered, so a caller that gave up on its context never
+// blocks the stage worker.
+func (r *pipeRunner) finish(job *pipeJob, res pipeRes) {
+	job.reply <- res
+	r.inflight.Done()
+}
+
+func (r *pipeRunner) do(ctx context.Context, inputs map[int]*cimmlc.Tensor) (map[int]*cimmlc.Tensor, error) {
+	env := make(map[int]*cimmlc.Tensor, len(inputs))
+	for id, t := range inputs {
+		env[id] = t
+	}
+	job := &pipeJob{ctx: ctx, env: env, reply: make(chan pipeRes, 1)}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, serving.ErrClosed
+	}
+	r.inflight.Add(1)
+	r.mu.Unlock()
+
+	select {
+	case r.heads[0] <- job:
+	case <-ctx.Done():
+		r.inflight.Done()
+		return nil, ctx.Err()
+	}
+	select {
+	case res := <-job.reply:
+		return res.outs, res.err
+	case <-ctx.Done():
+		// The job keeps flowing; the buffered reply lets the worker finish.
+		return nil, ctx.Err()
+	}
+}
+
+func (r *pipeRunner) depth() int            { return len(r.heads[0]) }
+func (r *pipeRunner) stages() int           { return len(r.heads) }
+func (r *pipeRunner) inputs() map[int][]int { return r.pl.Inputs() }
+
+// close drains in-flight jobs, then shuts the stage workers down. It is
+// idempotent; do after close returns serving.ErrClosed.
+func (r *pipeRunner) close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		r.wg.Wait()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	r.inflight.Wait()
+	close(r.heads[0])
+	r.wg.Wait()
+}

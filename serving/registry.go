@@ -15,7 +15,6 @@ package serving
 import (
 	"context"
 	"fmt"
-	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -57,6 +56,15 @@ func WithHostFallback() RegistryOption {
 	return func(r *Registry) { r.compilerOpts = append(r.compilerOpts, cimmlc.WithHostFallback()) }
 }
 
+// WithStationaryWeights makes every compiler the registry creates enforce
+// the serving-grade placement constraint (cimmlc.WithStationaryWeights):
+// models whose crossbar footprint exceeds one chip fail to build with
+// cimmlc.ErrOverCapacity instead of silently reloading weights per request.
+// Fleets detect that error and fall back to cross-chip pipelining.
+func WithStationaryWeights() RegistryOption {
+	return func(r *Registry) { r.compilerOpts = append(r.compilerOpts, cimmlc.WithStationaryWeights()) }
+}
+
 // WithAutoTune makes every compiler the registry creates run the schedule
 // autotuner (cimmlc.WithAutoTune) under budget b, so each (model, arch)
 // Program is tuned exactly once — on its first Get — and every later request
@@ -79,8 +87,9 @@ type Registry struct {
 	compilerOpts []cimmlc.Option
 
 	mu        sync.Mutex
-	archs     map[string]struct{}         // registered names, key: lower(name)
+	archs     map[string]string           // registered archs, key: lower(name) → display name
 	compilers map[string]*cimmlc.Compiler // key: lower(arch name)
+	archVer   map[string]uint64           // key: lower(arch name), bumped by each RegisterArch
 	programs  map[Key]*progEntry
 	builds    atomic.Uint64
 }
@@ -101,8 +110,9 @@ type progEntry struct {
 func NewRegistry(opts ...RegistryOption) *Registry {
 	r := &Registry{
 		seed:      42,
-		archs:     map[string]struct{}{},
+		archs:     map[string]string{},
 		compilers: map[string]*cimmlc.Compiler{},
+		archVer:   map[string]uint64{},
 		programs:  map[Key]*progEntry{},
 	}
 	for _, o := range opts {
@@ -139,10 +149,33 @@ func (r *Registry) RegisterArch(a *cimmlc.Arch) error {
 	}
 	key := strings.ToLower(a.Name)
 	r.mu.Lock()
-	r.archs[key] = struct{}{}
+	r.archs[key] = a.Name
 	r.compilers[key] = c
+	r.archVer[key]++
+	// Re-registration invalidates resident Programs compiled for the old
+	// description: their crossbar images embed the previous geometry, so
+	// serving them against the new arch would silently return stale results.
+	// Dropping the entries makes the next Get rebuild against the compiler
+	// registered above; builds already in flight finish against their old
+	// entry (their waiters asked before the re-registration) but are not
+	// re-cached under the key.
+	for k := range r.programs {
+		if k.Arch == key {
+			delete(r.programs, k)
+		}
+	}
 	r.mu.Unlock()
 	return nil
+}
+
+// ArchVersion reports how many times name has been registered (0 for
+// presets and unknown names). Serving front ends that cache per-(model,
+// arch) handles — batchers, fleets — compare it against the version their
+// handle was built at and rebuild when an operator re-registered the arch.
+func (r *Registry) ArchVersion(name string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.archVer[strings.ToLower(name)]
 }
 
 // RegisterArchJSON decodes, validates and registers an architecture from
@@ -242,6 +275,50 @@ func (r *Registry) build(ctx context.Context, model, archName string) (*cimmlc.P
 	return c.Build(ctx, g, w, cimmlc.CodegenOptions{}, r.buildOpts...)
 }
 
+// BuildProgram builds a fresh, uncached Program for (model, arch) — one
+// simulated chip of a fleet replica. Unlike Get, every call builds its own
+// Program so each replica owns its crossbar image and state pools; the
+// compiler's artifact cache still makes the repeat compilations cheap, and a
+// deterministic model source makes the replicas bit-identical. extra build
+// options append to the registry-wide ones.
+func (r *Registry) BuildProgram(ctx context.Context, model, archName string, extra ...cimmlc.BuildOption) (*cimmlc.Program, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c, err := r.compiler(archName)
+	if err != nil {
+		return nil, err
+	}
+	g, w, err := r.source(model)
+	if err != nil {
+		return nil, err
+	}
+	r.builds.Add(1)
+	opts := append(append([]cimmlc.BuildOption{}, r.buildOpts...), extra...)
+	return c.Build(ctx, g, w, cimmlc.CodegenOptions{}, opts...)
+}
+
+// BuildPipeline builds a fresh multi-chip Pipeline for (model, arch) — the
+// fleet path for models whose crossbar footprint exceeds one chip. maxChips
+// bounds the chip count when positive. Like BuildProgram, every call builds
+// its own Pipeline so each replica owns its chips.
+func (r *Registry) BuildPipeline(ctx context.Context, model, archName string, maxChips int, extra ...cimmlc.BuildOption) (*cimmlc.Pipeline, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c, err := r.compiler(archName)
+	if err != nil {
+		return nil, err
+	}
+	g, w, err := r.source(model)
+	if err != nil {
+		return nil, err
+	}
+	r.builds.Add(1)
+	opts := append(append([]cimmlc.BuildOption{}, r.buildOpts...), extra...)
+	return c.BuildPipeline(ctx, g, w, cimmlc.CodegenOptions{}, maxChips, opts...)
+}
+
 // ProgramInfo describes one resident Program for introspection endpoints.
 type ProgramInfo struct {
 	Key   Key                 `json:"key"`
@@ -277,18 +354,22 @@ func (r *Registry) Loaded() []ProgramInfo {
 }
 
 // Archs lists the explicitly registered architecture names followed by the
-// built-in presets, each group sorted.
+// built-in presets, each group sorted. Names keep their canonical display
+// casing (the casing they were registered or defined with); lookups remain
+// case-insensitive throughout the registry.
 func (r *Registry) Archs() []string {
 	r.mu.Lock()
-	var names []string
-	for name := range r.archs {
-		names = append(names, name)
+	names := make([]string, 0, len(r.archs))
+	registered := make(map[string]bool, len(r.archs))
+	for key, display := range r.archs {
+		names = append(names, display)
+		registered[key] = true
 	}
 	r.mu.Unlock()
 	sort.Strings(names)
 	for _, p := range cimmlc.Presets() {
-		if !slices.Contains(names, strings.ToLower(p)) {
-			names = append(names, strings.ToLower(p))
+		if !registered[strings.ToLower(p)] {
+			names = append(names, p)
 		}
 	}
 	return names

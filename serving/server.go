@@ -16,6 +16,24 @@ import (
 	"cimmlc"
 )
 
+// Runner is one resident serving engine for a (model, arch) pair — what
+// the gateway routes /v1/run requests to. The default is a Batcher over a
+// single compiled Program; serving/fleet provides a multi-replica cluster
+// implementation behind the same interface.
+type Runner interface {
+	Do(ctx context.Context, inputs map[int]*cimmlc.Tensor) (map[int]*cimmlc.Tensor, error)
+	Inputs() map[int][]int
+	Close()
+}
+
+// RunnerFactory builds the Runner for a (model, arch) pair on its first
+// request. ctx bounds the build.
+type RunnerFactory func(ctx context.Context, reg *Registry, model, arch string) (Runner, error)
+
+// FleetStater is implemented by runners that expose cluster introspection
+// (serving/fleet's Fleet). The /v1/fleet route lists every resident one.
+type FleetStater interface{ FleetState() any }
+
 // ServerConfig tunes the HTTP gateway.
 type ServerConfig struct {
 	// Batch configures the micro-batching queue created per resident
@@ -24,26 +42,32 @@ type ServerConfig struct {
 	// RequestTimeout bounds one /v1/run request, queueing included
 	// (default 30s).
 	RequestTimeout time.Duration
+	// Runner overrides how the per-(model, arch) serving engine is built.
+	// nil uses the default single-Program Batcher path.
+	Runner RunnerFactory
 }
 
 // Server is the embeddable serving gateway: it owns a Registry and one
-// Batcher per resident Program, and exposes them as an http.Handler with
-// the /v1/run, /v1/models, /v1/archs and /healthz routes cmd/cimserve
-// serves. Create it with NewServer, mount Handler, and Close it to drain.
+// Runner per resident (model, arch) pair, and exposes them as an
+// http.Handler with the /v1/run, /v1/models, /v1/archs, /v1/fleet and
+// /healthz routes cmd/cimserve serves. Create it with NewServer, mount
+// Handler, and Close it to drain.
 type Server struct {
 	reg *Registry
 	cfg ServerConfig
 
 	mu       sync.Mutex
-	batchers map[Key]*progHandle
+	handles  map[Key]*progHandle
 	draining bool
 }
 
-// progHandle pairs a resident Program's batcher with its memoized input
-// schema, so per-request validation does not rebuild it.
+// progHandle pairs a resident runner with its memoized input schema (so
+// per-request validation does not rebuild it) and the arch version it was
+// built at (so re-registering the arch retires it).
 type progHandle struct {
-	b      *Batcher
+	run    Runner
 	schema map[int][]int
+	ver    uint64
 }
 
 // NewServer wraps a registry in a serving gateway.
@@ -51,63 +75,103 @@ func NewServer(reg *Registry, cfg ServerConfig) *Server {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 30 * time.Second
 	}
-	return &Server{reg: reg, cfg: cfg, batchers: map[Key]*progHandle{}}
+	return &Server{reg: reg, cfg: cfg, handles: map[Key]*progHandle{}}
 }
 
 // Registry returns the server's model registry.
 func (s *Server) Registry() *Registry { return s.reg }
 
 // Batcher returns the micro-batching queue for (model, arch), building the
-// Program on first use.
+// Program on first use. It errors when a RunnerFactory serves the pair
+// with something other than a Batcher (e.g. a fleet).
 func (s *Server) Batcher(ctx context.Context, model, arch string) (*Batcher, error) {
 	h, err := s.handle(ctx, model, arch)
 	if err != nil {
 		return nil, err
 	}
-	return h.b, nil
+	b, ok := h.run.(*Batcher)
+	if !ok {
+		return nil, fmt.Errorf("serving: the resident runner for %s on %s is a %T, not a Batcher", model, arch, h.run)
+	}
+	return b, nil
+}
+
+// Runner returns the serving engine for (model, arch), building it on
+// first use.
+func (s *Server) Runner(ctx context.Context, model, arch string) (Runner, error) {
+	h, err := s.handle(ctx, model, arch)
+	if err != nil {
+		return nil, err
+	}
+	return h.run, nil
 }
 
 func (s *Server) handle(ctx context.Context, model, arch string) (*progHandle, error) {
 	key := Key{Model: strings.ToLower(model), Arch: strings.ToLower(arch)}
+	ver := s.reg.ArchVersion(arch)
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
-	h, ok := s.batchers[key]
+	h, ok := s.handles[key]
+	if ok && h.ver != ver {
+		// The arch was re-registered since this handle was built: take the
+		// stale runner off the request path now and drain it off to the
+		// side, then rebuild against the new arch.
+		delete(s.handles, key)
+		go h.run.Close()
+		ok = false
+	}
 	s.mu.Unlock()
 	if ok {
 		return h, nil
 	}
-	p, err := s.reg.Get(ctx, model, arch)
+	run, err := s.newRunner(ctx, model, arch)
 	if err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
+		go run.Close()
 		return nil, ErrClosed
 	}
-	if h, ok := s.batchers[key]; ok {
-		return h, nil
+	if old, ok := s.handles[key]; ok && old.ver >= ver {
+		// Lost a build race to an equally fresh handle; keep theirs.
+		go run.Close()
+		return old, nil
 	}
-	h = &progHandle{b: NewBatcher(p, s.cfg.Batch), schema: p.Inputs()}
-	s.batchers[key] = h
+	h = &progHandle{run: run, schema: run.Inputs(), ver: ver}
+	s.handles[key] = h
 	return h, nil
 }
 
-// Close drains every batcher: queued requests finish, new ones are
+// newRunner builds the serving engine for one (model, arch) pair via the
+// configured factory, defaulting to a Batcher over the registry's Program.
+func (s *Server) newRunner(ctx context.Context, model, arch string) (Runner, error) {
+	if s.cfg.Runner != nil {
+		return s.cfg.Runner(ctx, s.reg, model, arch)
+	}
+	p, err := s.reg.Get(ctx, model, arch)
+	if err != nil {
+		return nil, err
+	}
+	return NewBatcher(p, s.cfg.Batch), nil
+}
+
+// Close drains every runner: queued requests finish, new ones are
 // rejected. Idempotent.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.draining = true
-	hs := make([]*progHandle, 0, len(s.batchers))
-	for _, h := range s.batchers {
+	hs := make([]*progHandle, 0, len(s.handles))
+	for _, h := range s.handles {
 		hs = append(hs, h)
 	}
 	s.mu.Unlock()
 	for _, h := range hs {
-		h.b.Close()
+		h.run.Close()
 	}
 }
 
@@ -118,6 +182,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/archs", s.handleArchs)
 	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/fleet", s.handleFleet)
 	return mux
 }
 
@@ -246,7 +311,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	outs, err := h.b.Do(ctx, inputs)
+	outs, err := h.run.Do(ctx, inputs)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -256,6 +321,39 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		resp.Outputs[strconv.Itoa(id)] = JSONTensor{Shape: t.Shape(), Data: t.Data()}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleFleet lists the cluster state of every resident runner that
+// exposes one (fleet-backed gateways); a default gateway reports an empty
+// list.
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	type entry struct {
+		key   Key
+		state any
+	}
+	s.mu.Lock()
+	entries := make([]entry, 0, len(s.handles))
+	for k, h := range s.handles {
+		if fs, ok := h.run.(FleetStater); ok {
+			entries = append(entries, entry{key: k, state: fs.FleetState()})
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].key.Model != entries[j].key.Model {
+			return entries[i].key.Model < entries[j].key.Model
+		}
+		return entries[i].key.Arch < entries[j].key.Arch
+	})
+	states := make([]any, len(entries))
+	for i, e := range entries {
+		states[i] = e.state
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"fleets": states})
 }
 
 // statusFor maps gateway errors to HTTP statuses: unknown names and other

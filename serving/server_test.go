@@ -199,6 +199,57 @@ func TestServerBadArchReturns400(t *testing.T) {
 	}
 }
 
+// TestServerRebuildsAfterArchReregistration is the gateway half of the
+// stale-Program regression: re-POSTing an arch to /v1/archs must retire
+// the resident batcher built against the old registration, so the next
+// /v1/run compiles and serves against the new hardware description.
+func TestServerRebuildsAfterArchReregistration(t *testing.T) {
+	s, ts := testGateway(t)
+	a, err := cimmlc.Preset("toy-table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Name = "user-arch"
+	register := func(a *cimmlc.Arch) {
+		t.Helper()
+		data, err := cimmlc.EncodeArch(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/archs", "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("register %s = %d, want 200", a.Name, resp.StatusCode)
+		}
+	}
+	register(a)
+	if resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Model: "conv-relu", Arch: "user-arch", Seed: 3}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first run = %d: %s", resp.StatusCode, body)
+	}
+	builds := s.Registry().Builds()
+
+	// Re-register the same name with a different chip grid. Serving the
+	// old resident program would silently report the old hardware.
+	a.Chip.CoreRows *= 2
+	register(a)
+	if resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Model: "conv-relu", Arch: "user-arch", Seed: 3}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("run after re-registration = %d: %s", resp.StatusCode, body)
+	}
+	if got := s.Registry().Builds(); got != builds+1 {
+		t.Fatalf("builds after re-registration = %d, want %d (stale handle served)", got, builds+1)
+	}
+	// The rebuilt handle is now resident; a further run must not rebuild.
+	if resp, body := postJSON(t, ts.URL+"/v1/run", RunRequest{Model: "conv-relu", Arch: "user-arch", Seed: 4}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("third run = %d: %s", resp.StatusCode, body)
+	}
+	if got := s.Registry().Builds(); got != builds+1 {
+		t.Fatalf("builds after warm run = %d, want %d", got, builds+1)
+	}
+}
+
 func TestServerModelsEndpoint(t *testing.T) {
 	_, ts := testGateway(t)
 	// Load one program first so the listing is non-trivial.
